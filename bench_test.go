@@ -1,0 +1,386 @@
+// Package crystalball's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (scaled down so `go test
+// -bench=.` completes in minutes; cmd/experiments regenerates the
+// full-scale tables), plus ablation benchmarks for the design choices
+// DESIGN.md section 7 calls out.
+package crystalball_test
+
+import (
+	"testing"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/experiments"
+	"crystalball/internal/mc"
+	"crystalball/internal/props"
+	"crystalball/internal/runtime"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/sm"
+	"crystalball/internal/snapshot"
+)
+
+// BenchmarkTable1BugsFound runs the deep-online-debugging hunt (scaled).
+func BenchmarkTable1BugsFound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.Table1(experiments.Table1Config{
+			Seed: int64(i + 1), Nodes: 8, Duration: 3 * time.Minute, MCStates: 4000,
+		})
+		var distinct int
+		for _, r := range results {
+			distinct += len(r.Distinct)
+		}
+		b.ReportMetric(float64(distinct), "distinct-bugs")
+	}
+}
+
+// BenchmarkFig12ExhaustiveDepth measures the exhaustive-search depth sweep.
+func BenchmarkFig12ExhaustiveDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig12Exhaustive(experiments.Fig12Config{
+			Seed: 1, Nodes: 5, MaxDepth: 5, MaxStates: 500000,
+		})
+		b.ReportMetric(float64(pts[len(pts)-1].States), "states-at-max-depth")
+	}
+}
+
+// BenchmarkFig15SearchMemory measures consequence-prediction memory growth.
+func BenchmarkFig15SearchMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig15Memory(experiments.Fig15Config{
+			Seed: 1, MaxDepth: 5, MaxStates: 500000,
+		})
+		last := pts[len(pts)-1]
+		b.ReportMetric(float64(last.MemBytes), "peak-bytes")
+		b.ReportMetric(last.PerStateByte, "bytes/state")
+	}
+}
+
+// BenchmarkDepthComparison measures the section 5.3 comparison.
+func BenchmarkDepthComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DepthComparison(1, time.Second, []int{5})
+		for _, r := range rows {
+			if r.Start == "live-snapshot" && r.Mode == "consequence" {
+				b.ReportMetric(float64(r.States), "cp-states-to-violation")
+			}
+		}
+	}
+}
+
+// BenchmarkRandTreeSteering runs one protected churn window (section 5.4.1).
+func BenchmarkRandTreeSteering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RandTreeSteering(experiments.SteeringConfig{
+			Seed: int64(i + 1), Nodes: 10, Duration: 5 * time.Minute,
+			ChurnGap: 45 * time.Second, MCStates: 4000,
+		}, experiments.SteeringAndISC)
+		b.ReportMetric(float64(res.InconsistentStates), "inconsistent-states")
+		b.ReportMetric(float64(res.FiltersInstalled), "filters")
+	}
+}
+
+// BenchmarkFig14PaxosSteering runs the staged Paxos scenarios (scaled).
+func BenchmarkFig14PaxosSteering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.Fig14Paxos(experiments.Fig14Config{
+			Seed: int64(i + 1), Runs: 4, MaxGap: 20 * time.Second, MCStates: 8000,
+		})
+		var avoided, violated int
+		for _, r := range results {
+			avoided += r.Steering + r.ISC
+			violated += r.Violated
+		}
+		b.ReportMetric(float64(avoided), "avoided")
+		b.ReportMetric(float64(violated), "violated")
+	}
+}
+
+// BenchmarkFig17BulletOverhead measures the Bullet' download with and
+// without CrystalBall.
+func BenchmarkFig17BulletOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig17Bullet(experiments.Fig17Config{
+			Seed: int64(i + 1), Nodes: 5, Blocks: 12, BlockSize: 32 << 10,
+			Deadline: 8 * time.Minute,
+		})
+		b.ReportMetric(100*r.MeanSlowdown, "slowdown-%")
+	}
+}
+
+// BenchmarkCheckpointSizes measures section 5.5's checkpoint costs.
+func BenchmarkCheckpointSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Overhead(experiments.OverheadConfig{
+			Seed: int64(i + 1), Nodes: 8, Duration: 40 * time.Second,
+		})
+		for _, r := range rows {
+			if r.System == "RandTree" {
+				b.ReportMetric(r.MeanCheckpointRaw, "randtree-ckpt-bytes")
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks of the core algorithms --------------------------------
+
+// BenchmarkConsequencePrediction measures raw checker throughput on the
+// formed-tree snapshot with faults enabled.
+func BenchmarkConsequencePrediction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := searchFormedTree(mc.Consequence, 2000)
+		if res.StatesExplored == 0 {
+			b.Fatal("no states explored")
+		}
+	}
+}
+
+// BenchmarkExhaustiveSearch is the baseline for the same start state.
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := searchFormedTree(mc.Exhaustive, 2000)
+		if res.StatesExplored == 0 {
+			b.Fatal("no states explored")
+		}
+	}
+}
+
+func searchFormedTree(mode mc.Mode, states int) *mc.Result {
+	factory := randtree.New(randtree.Config{Bootstrap: []sm.NodeID{1}, MaxChildren: 3})
+	g := mc.NewGState()
+	for i := 1; i <= 5; i++ {
+		g.AddNode(sm.NodeID(i), factory(sm.NodeID(i)), nil)
+	}
+	s := mc.NewSearch(mc.Config{
+		Props:         randtree.Properties,
+		Factory:       factory,
+		Mode:          mode,
+		ExploreResets: true,
+		MaxStates:     states,
+	})
+	return s.Run(g)
+}
+
+// BenchmarkSnapshotCollection measures a full neighborhood snapshot round.
+func BenchmarkSnapshotCollection(b *testing.B) {
+	s := sim.New(1)
+	net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
+	factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}, Fixes: chord.AllFixes})
+	var nodes []*runtime.Node
+	var mgrs []*snapshot.Manager
+	for i := 1; i <= 10; i++ {
+		node := runtime.NewNode(s, net, sm.NodeID(i), factory)
+		nodes = append(nodes, node)
+		mgrs = append(mgrs, snapshot.NewManager(s, node, snapshot.DefaultConfig()))
+	}
+	for i, node := range nodes {
+		node := node
+		s.After(time.Duration(i)*500*time.Millisecond, func() { node.App(chord.AppJoin{}) })
+	}
+	s.RunFor(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		mgrs[0].Collect(nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) { done = true })
+		s.RunFor(3 * time.Second)
+		if !done {
+			b.Fatal("collection did not finish")
+		}
+	}
+}
+
+// --- ablations (DESIGN.md section 7) ----------------------------------------
+
+// BenchmarkAblationLocalPruning quantifies the localExplored rule: states
+// needed to find the Figure 2-class violation from a live snapshot with
+// and without the pruning.
+func BenchmarkAblationLocalPruning(b *testing.B) {
+	for _, mode := range []mc.Mode{mc.Consequence, mc.Exhaustive} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := experiments.DepthComparison(1, 5*time.Second, []int{7})
+				for _, r := range rows {
+					if r.Start == "live-snapshot" && r.Mode == mode.String() {
+						b.ReportMetric(float64(r.States), "states-to-violation")
+						b.ReportMetric(float64(r.Elapsed.Microseconds()), "us-to-violation")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilterSafety measures steering with and without the
+// filter-safety recheck.
+func BenchmarkAblationFilterSafety(b *testing.B) {
+	for _, check := range []bool{true, false} {
+		name := "with-recheck"
+		if !check {
+			name = "without-recheck"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := steeringArm(int64(i+1), check, true)
+				b.ReportMetric(float64(res.FiltersInstalled), "filters")
+				b.ReportMetric(float64(res.InconsistentStates), "inconsistent-states")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompression measures checkpoint bytes with and without
+// LZW compression + duplicate suppression.
+func BenchmarkAblationCompression(b *testing.B) {
+	for _, compress := range []bool{true, false} {
+		name := "lzw"
+		if !compress {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sim.New(int64(i + 1))
+				net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
+				factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}, Fixes: chord.AllFixes})
+				snapCfg := snapshot.DefaultConfig()
+				snapCfg.Compress = compress
+				var nodes []*runtime.Node
+				var mgrs []*snapshot.Manager
+				for j := 1; j <= 8; j++ {
+					node := runtime.NewNode(s, net, sm.NodeID(j), factory)
+					nodes = append(nodes, node)
+					mgrs = append(mgrs, snapshot.NewManager(s, node, snapCfg))
+				}
+				for j, node := range nodes {
+					node := node
+					s.After(time.Duration(j)*400*time.Millisecond, func() { node.App(chord.AppJoin{}) })
+				}
+				s.RunFor(15 * time.Second)
+				for k := 0; k < 5; k++ {
+					mgrs[0].Collect(nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) {})
+					s.RunFor(3 * time.Second)
+				}
+				b.ReportMetric(float64(net.TotalBytesOut(simnet.KindCheckpoint)), "ckpt-bytes")
+			}
+		})
+	}
+}
+
+// steeringArm runs a short protected churn window for the ablations.
+func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
+	FiltersInstalled   int64
+	InconsistentStates int64
+} {
+	s := sim.New(seed)
+	n := 8
+	ids := make([]sm.NodeID, n)
+	for i := range ids {
+		ids[i] = sm.NodeID(i + 1)
+	}
+	factory := randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 3})
+	ctrl := controller.DefaultConfig(randtree.Properties, factory)
+	ctrl.Mode = controller.ExecutionSteering
+	ctrl.MCStates = 3000
+	ctrl.CheckFilterSafety = checkFilterSafety
+	ctrl.ReplayPaths = replay
+	d := experiments.Deploy(s, simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8},
+		n, factory, &ctrl, experiments.SnapCfg())
+
+	var out struct {
+		FiltersInstalled   int64
+		InconsistentStates int64
+	}
+	for _, node := range d.Nodes {
+		node.OnEvent = func(sm.Event) {
+			if !randtree.Properties.Holds(d.View()) {
+				out.InconsistentStates++
+			}
+		}
+		node.App(randtree.AppJoin{})
+	}
+	experiments.Churn(s, d, 40*time.Second, func(*sm.NodeID) sm.AppCall { return randtree.AppJoin{} })
+	s.RunFor(4 * time.Minute)
+	for _, c := range d.Ctrls {
+		out.FiltersInstalled += c.Stats.FiltersInstalled
+	}
+	return out
+}
+
+// BenchmarkStateHash measures global-state hashing, the checker's hottest
+// primitive.
+func BenchmarkStateHash(b *testing.B) {
+	_, g := formedTree(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Hash() == 0 {
+			b.Fatal("zero hash")
+		}
+	}
+}
+
+// BenchmarkCheckpointEncode measures full-state encoding (checkpoint
+// creation).
+func BenchmarkCheckpointEncode(b *testing.B) {
+	factory := randtree.New(randtree.Config{Bootstrap: []sm.NodeID{1}})
+	t := factory(1).(*randtree.Tree)
+	t.Joined = true
+	t.IsRoot = true
+	t.Root = 1
+	for i := 2; i <= 20; i++ {
+		t.Children[sm.NodeID(i)] = true
+		t.Peers[sm.NodeID(i)] = true
+	}
+	timers := map[sm.TimerID]bool{randtree.TimerRecovery: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(sm.EncodeFullState(t, timers)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func formedTree(n int) (sm.Factory, *mc.GState) {
+	factory := randtree.New(randtree.Config{Bootstrap: []sm.NodeID{1}, MaxChildren: 3})
+	g := mc.NewGState()
+	for i := 1; i <= n; i++ {
+		id := sm.NodeID(i)
+		t := factory(id).(*randtree.Tree)
+		t.Joined = true
+		t.Root = 1
+		t.IsRoot = i == 1
+		if i > 1 {
+			t.Parent = sm.NodeID(i / 2)
+		} else {
+			t.Parent = sm.NoNode
+		}
+		g.AddNode(id, t, map[sm.TimerID]bool{randtree.TimerRecovery: true})
+	}
+	return factory, g
+}
+
+// BenchmarkISCSpeculation measures the immediate safety check's per-event
+// cost (clone + speculative handler + property check).
+func BenchmarkISCSpeculation(b *testing.B) {
+	s := sim.New(1)
+	net := simnet.New(s, simnet.UniformPath{Latency: time.Millisecond, BwBps: 1e9})
+	factory := randtree.New(randtree.Config{Bootstrap: []sm.NodeID{1}})
+	n1 := runtime.NewNode(s, net, 1, factory)
+	n1.App(randtree.AppJoin{})
+	n2 := runtime.NewNode(s, net, 2, factory)
+	n2.App(randtree.AppJoin{})
+	s.RunFor(10 * time.Second)
+	n1.EnableISC(randtree.Properties, func() *props.View { return props.NewView() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Drive a message through the ISC path.
+		net.Send(2, 1, runtime.Envelope{Msg: randtree.Probe{}}, 12, simnet.KindService)
+		s.RunFor(10 * time.Millisecond)
+	}
+	if n1.Stats.ISCChecks == 0 {
+		b.Fatal("ISC never engaged")
+	}
+}

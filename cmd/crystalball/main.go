@@ -1,0 +1,149 @@
+// Command crystalball runs a simulated CrystalBall deployment of one of
+// the evaluated services — RandTree, Chord, Bullet′ or Paxos — with
+// per-node controllers in deep-online-debugging or execution-steering mode,
+// and prints the predictions, installed filters and runtime statistics.
+//
+// Usage:
+//
+//	crystalball -service randtree -nodes 25 -mode steering -duration 10m
+//	crystalball -service chord -nodes 12 -mode debug -duration 20m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/experiments"
+	"crystalball/internal/props"
+	"crystalball/internal/services/bulletprime"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/services/paxos"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/sm"
+)
+
+func main() {
+	var (
+		service  = flag.String("service", "randtree", "service (randtree|chord|bullet|paxos)")
+		nodes    = flag.Int("nodes", 12, "number of nodes")
+		mode     = flag.String("mode", "debug", "controller mode (debug|steering)")
+		duration = flag.Duration("duration", 10*time.Minute, "virtual run time")
+		churn    = flag.Duration("churn", time.Minute, "mean time between resets (0 = none)")
+		mcStates = flag.Int("mcstates", 10000, "consequence-prediction state budget per round")
+		seed     = flag.Int64("seed", 42, "random seed")
+		fixed    = flag.Bool("fixed", false, "run the bug-fixed service variants")
+		verbose  = flag.Bool("v", false, "print each prediction's event path")
+	)
+	flag.Parse()
+
+	ids := make([]sm.NodeID, *nodes)
+	for i := range ids {
+		ids[i] = sm.NodeID(i + 1)
+	}
+
+	var factory sm.Factory
+	var ps props.Set
+	var join func() sm.AppCall
+	switch *service {
+	case "randtree":
+		fixes := randtree.Fix(0)
+		if *fixed {
+			fixes = randtree.AllFixes
+		}
+		factory = randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 3, Fixes: fixes})
+		ps = randtree.Properties
+		join = func() sm.AppCall { return randtree.AppJoin{} }
+	case "chord":
+		fixes := chord.Fix(0)
+		if *fixed {
+			fixes = chord.AllFixes
+		}
+		factory = chord.New(chord.Config{Bootstrap: ids[:1], Fixes: fixes})
+		ps = chord.Properties
+		join = func() sm.AppCall { return chord.AppJoin{} }
+	case "bullet":
+		fixes := bulletprime.Fix(0)
+		if *fixed {
+			fixes = bulletprime.AllFixes
+		}
+		factory = bulletprime.New(bulletprime.Config{
+			Members: ids, Source: ids[0], Blocks: 32, BlockSize: 64 << 10, Fixes: fixes,
+		})
+		ps = bulletprime.DebugProperties
+	case "paxos":
+		factory = paxos.New(paxos.Config{Members: ids, Bug1: !*fixed})
+		ps = paxos.Properties
+	default:
+		fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+		os.Exit(2)
+	}
+
+	s := sim.New(*seed)
+	ctrl := controller.DefaultConfig(ps, factory)
+	ctrl.MCStates = *mcStates
+	if *mode == "steering" {
+		ctrl.Mode = controller.ExecutionSteering
+	} else {
+		ctrl.Mode = controller.DeepOnlineDebugging
+		ctrl.EnableISC = false
+	}
+	path := simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
+	d := experiments.Deploy(s, path, *nodes, factory, &ctrl, experiments.SnapCfg())
+
+	for i, node := range d.Nodes {
+		if join == nil {
+			continue
+		}
+		node := node
+		s.After(time.Duration(i)*700*time.Millisecond, func() { node.App(join()) })
+	}
+	if *churn > 0 {
+		experiments.Churn(s, d, *churn, func(*sm.NodeID) sm.AppCall {
+			if join == nil {
+				return nil
+			}
+			return join()
+		})
+	}
+
+	fmt.Printf("running %s with %d nodes for %v (mode=%s, fixed=%v)\n",
+		*service, *nodes, *duration, ctrl.Mode, *fixed)
+	s.RunFor(*duration)
+
+	findings := d.TotalFindings()
+	distinct := controller.DistinctFindings(findings)
+	fmt.Printf("\npredictions: %d total, %d distinct bug classes\n", len(findings), len(distinct))
+	for _, f := range distinct {
+		fmt.Printf("  %v (path length %d) at %v\n", f.Properties, len(f.Path), f.FoundAt)
+		if *verbose {
+			for _, ev := range f.Path {
+				fmt.Printf("    %s\n", ev.Describe())
+			}
+		}
+	}
+	var filters, unhelpful, rounds, states int64
+	for _, c := range d.Ctrls {
+		filters += c.Stats.FiltersInstalled
+		unhelpful += c.Stats.SteeringUnhelpful
+		rounds += c.Stats.Rounds
+		states += c.Stats.StatesExplored
+	}
+	var actions, blocked int64
+	for _, node := range d.Nodes {
+		actions += node.Stats.ActionsExecuted
+		blocked += node.Stats.MessagesDropped + node.Stats.ISCBlocks
+	}
+	fmt.Printf("\nrounds=%d statesExplored=%d filtersInstalled=%d unhelpful=%d\n",
+		rounds, states, filters, unhelpful)
+	fmt.Printf("actions=%d blocked=%d\n", actions, blocked)
+	if ok := ps.Holds(d.View()); ok {
+		fmt.Println("final global state: consistent")
+	} else {
+		fmt.Printf("final global state: VIOLATES %v\n", ps.Check(d.View()))
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the
+// CrystalBall paper's evaluation (section 5) on the simulated substrate.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything, default scales
+//	experiments -exp fig14 -runs 100     # Figure 14 at paper scale
+//	experiments -exp table1 -duration 30m
+//
+// Experiments: table1, fig12, fig15, fig16, depths, randtree-steering,
+// fig14, fig17, overhead, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crystalball/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1|fig12|fig15|fig16|depths|randtree-steering|fig14|fig17|overhead|all)")
+		seed     = flag.Int64("seed", 42, "root random seed")
+		runs     = flag.Int("runs", 30, "runs per bug for fig14 (paper: 100)")
+		nodes    = flag.Int("nodes", 0, "node count override (0 = experiment default)")
+		duration = flag.Duration("duration", 0, "virtual duration override")
+		depth    = flag.Int("depth", 0, "max depth for fig12/fig15")
+		budget   = flag.Duration("budget", 2*time.Second, "wall budget for the depths comparison")
+	)
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			cfg := experiments.Table1Config{Seed: *seed, Nodes: *nodes, Duration: *duration}
+			fmt.Print(experiments.FormatTable1(experiments.Table1(cfg)))
+		case "fig12":
+			cfg := experiments.Fig12Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000, MaxWall: 30 * time.Second}
+			pts := experiments.Fig12Exhaustive(cfg)
+			fmt.Print(experiments.FormatDepthPoints("Figure 12: exhaustive search time vs depth (RandTree, 5 nodes)", pts))
+		case "fig15", "fig16":
+			cfg := experiments.Fig15Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000}
+			pts := experiments.Fig15Memory(cfg)
+			fmt.Print(experiments.FormatDepthPoints("Figures 15/16: consequence-prediction memory vs depth", pts))
+		case "depths":
+			counts := []int{5, 20}
+			if *nodes > 0 {
+				counts = []int{*nodes}
+			}
+			rows := experiments.DepthComparison(*seed, *budget, counts)
+			fmt.Print(experiments.FormatDepthComparison(rows, *budget))
+		case "randtree-steering":
+			cfg := experiments.SteeringConfig{Seed: *seed, Nodes: *nodes, Duration: *duration}
+			results := []experiments.SteeringResult{
+				experiments.RandTreeSteering(cfg, experiments.NoProtection),
+				experiments.RandTreeSteering(cfg, experiments.ISCOnly),
+				experiments.RandTreeSteering(cfg, experiments.SteeringAndISC),
+			}
+			fmt.Print(experiments.FormatSteering(results))
+		case "fig14":
+			cfg := experiments.Fig14Config{Seed: *seed, Runs: *runs}
+			fmt.Print(experiments.FormatFig14(experiments.Fig14Paxos(cfg)))
+		case "fig17":
+			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration}
+			fmt.Print(experiments.FormatFig17(experiments.Fig17Bullet(cfg)))
+		case "overhead":
+			cfg := experiments.OverheadConfig{Seed: *seed, Nodes: *nodes, Duration: *duration}
+			fmt.Print(experiments.FormatOverhead(experiments.Overhead(cfg)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig12", "fig15", "depths", "table1",
+			"randtree-steering", "fig14", "fig17", "overhead"} {
+			fmt.Printf("### %s\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

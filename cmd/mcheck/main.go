@@ -1,0 +1,122 @@
+// Command mcheck is the offline model checker (the MaceMC-equivalent
+// baseline): it explores a service from its initial state with exhaustive
+// search, consequence prediction, or random walks, and reports any safety
+// violations it finds with their event paths.
+//
+// Usage:
+//
+//	mcheck -service randtree -nodes 5 -mode exhaustive -maxdepth 8
+//	mcheck -service chord -mode consequence -resets -states 200000
+//	mcheck -service paxos -mode random-walk -walks 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/props"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/services/paxos"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sm"
+)
+
+func main() {
+	var (
+		service    = flag.String("service", "randtree", "service to check (randtree|chord|paxos)")
+		nodes      = flag.Int("nodes", 5, "number of nodes in the initial state")
+		mode       = flag.String("mode", "consequence", "search mode (exhaustive|consequence|random-walk)")
+		maxDepth   = flag.Int("maxdepth", 0, "depth bound (0 = unbounded)")
+		maxStates  = flag.Int("states", 500000, "state budget")
+		maxWall    = flag.Duration("wall", time.Minute, "wall-clock budget")
+		resets     = flag.Bool("resets", true, "explore node resets")
+		connBreaks = flag.Bool("connbreaks", false, "explore spontaneous connection breaks")
+		walks      = flag.Int("walks", 200, "random walks (random-walk mode)")
+		walkDepth  = flag.Int("walkdepth", 60, "random walk depth")
+		maxViol    = flag.Int("violations", 3, "stop after this many violations")
+		seed       = flag.Int64("seed", 1, "random seed")
+		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants")
+	)
+	flag.Parse()
+
+	ids := make([]sm.NodeID, *nodes)
+	for i := range ids {
+		ids[i] = sm.NodeID(i + 1)
+	}
+
+	var factory sm.Factory
+	var ps props.Set
+	switch *service {
+	case "randtree":
+		fixes := randtree.Fix(0)
+		if *fixed {
+			fixes = randtree.AllFixes
+		}
+		factory = randtree.New(randtree.Config{Bootstrap: ids[:1], Fixes: fixes})
+		ps = randtree.Properties
+	case "chord":
+		fixes := chord.Fix(0)
+		if *fixed {
+			fixes = chord.AllFixes
+		}
+		factory = chord.New(chord.Config{Bootstrap: ids[:1], Fixes: fixes})
+		ps = chord.Properties
+	case "paxos":
+		factory = paxos.New(paxos.Config{Members: ids, Bug1: !*fixed, Bug2: !*fixed})
+		ps = paxos.Properties
+	default:
+		fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+		os.Exit(2)
+	}
+
+	var m mc.Mode
+	switch *mode {
+	case "exhaustive":
+		m = mc.Exhaustive
+	case "consequence":
+		m = mc.Consequence
+	case "random-walk":
+		m = mc.RandomWalk
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	g := mc.NewGState()
+	for _, id := range ids {
+		g.AddNode(id, factory(id), nil)
+	}
+	search := mc.NewSearch(mc.Config{
+		Props:             ps,
+		Factory:           factory,
+		Mode:              m,
+		MaxDepth:          *maxDepth,
+		MaxStates:         *maxStates,
+		MaxWall:           *maxWall,
+		MaxViolations:     *maxViol,
+		ExploreResets:     *resets,
+		ExploreConnBreaks: *connBreaks,
+		Walks:             *walks,
+		WalkDepth:         *walkDepth,
+		Seed:              *seed,
+	})
+	res := search.Run(g)
+
+	fmt.Printf("mode=%s service=%s nodes=%d\n", m, *service, *nodes)
+	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v mem=%dB (%.0f B/state)\n",
+		res.StatesExplored, res.Transitions, res.MaxDepthReached, res.Elapsed.Round(time.Millisecond),
+		res.PeakMemoryBytes, res.PerStateBytes)
+	if len(res.Violations) == 0 {
+		fmt.Println("no violations found")
+		return
+	}
+	for i, v := range res.Violations {
+		fmt.Printf("violation %d: %v at depth %d\n", i+1, v.Properties, v.Depth)
+		for _, ev := range v.Path {
+			fmt.Printf("  %s\n", ev.Describe())
+		}
+	}
+}

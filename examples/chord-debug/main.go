@@ -1,0 +1,94 @@
+// Chord deep online debugging: reconstruct the live prefix of the paper's
+// Figure 10 scenario (B crashed; A's successor now points at C) and run
+// consequence prediction from that snapshot, printing the full event path
+// to the predicted "predecessor is self while successors exist" violation.
+// Then do the same for the Figure 11 ordering-constraint bug.
+//
+//	go run ./examples/chord-debug
+package main
+
+import (
+	"fmt"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/props"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/sm"
+)
+
+func main() {
+	fmt.Println("=== Figure 10: If Successor is Self, So Is Predecessor ===")
+	figure10()
+	fmt.Println()
+	fmt.Println("=== Figure 11: Node Ordering Constraint ===")
+	figure11()
+}
+
+func figure10() {
+	factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}})
+	mk := func(id sm.NodeID, pred sm.NodeID, succs ...sm.NodeID) *chord.Ring {
+		r := factory(id).(*chord.Ring)
+		r.Joined = true
+		r.Pred = pred
+		r.Succs = succs
+		return r
+	}
+	// Live prefix already happened: B (node 2) reset; A (node 1) removed
+	// it and now considers C (node 3) its successor; D (node 5) completes
+	// the ring.
+	g := mc.NewGState()
+	g.AddNode(1, mk(1, 5, 3, 5, 1), map[sm.TimerID]bool{chord.TimerStabilize: true})
+	g.AddNode(3, mk(3, 1, 5, 1, 3), map[sm.TimerID]bool{chord.TimerStabilize: true})
+	g.AddNode(5, mk(5, 3, 1, 3, 5), map[sm.TimerID]bool{chord.TimerStabilize: true})
+
+	res := mc.NewSearch(mc.Config{
+		Props:             props.Set{chord.PropPredSelfImpliesSuccSelf},
+		Factory:           factory,
+		Mode:              mc.Consequence,
+		ExploreResets:     true,
+		ExploreConnBreaks: true,
+		MaxStates:         150000,
+		MaxViolations:     1,
+	}).Run(g)
+	report(res)
+}
+
+func figure11() {
+	factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{3}})
+	// A_{i-1}=2 and A_{i-2}=1 both joined through A_i=3 with identical
+	// FindPredReply information; node 3 has since stabilised.
+	mk := func(id sm.NodeID, pred sm.NodeID, succs ...sm.NodeID) *chord.Ring {
+		r := factory(id).(*chord.Ring)
+		r.Joined = true
+		r.Pred = pred
+		r.Succs = succs
+		return r
+	}
+	g := mc.NewGState()
+	g.AddNode(1, mk(1, 3, 3, 1), map[sm.TimerID]bool{chord.TimerStabilize: true})
+	g.AddNode(2, mk(2, 3, 3, 2), map[sm.TimerID]bool{chord.TimerStabilize: true})
+	g.AddNode(3, mk(3, 2, 1, 3), map[sm.TimerID]bool{chord.TimerStabilize: true})
+
+	res := mc.NewSearch(mc.Config{
+		Props:         props.Set{chord.PropNodeOrdering},
+		Factory:       factory,
+		Mode:          mc.Consequence,
+		MaxStates:     150000,
+		MaxViolations: 1,
+	}).Run(g)
+	report(res)
+}
+
+func report(res *mc.Result) {
+	fmt.Printf("explored %d states (max depth %d) in %v\n",
+		res.StatesExplored, res.MaxDepthReached, res.Elapsed)
+	if len(res.Violations) == 0 {
+		fmt.Println("no violation found within budget")
+		return
+	}
+	v := res.Violations[0]
+	fmt.Printf("predicted violation of %v, %d steps ahead:\n", v.Properties, len(v.Path))
+	for _, ev := range v.Path {
+		fmt.Printf("  %s\n", ev.Describe())
+	}
+}

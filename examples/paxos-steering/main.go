@@ -1,0 +1,89 @@
+// Paxos execution steering: stage the paper's Figure 13 scenario against
+// an implementation with the injected bug 1 (the leader builds its Accept
+// from the last Promise instead of the highest-round one) and show
+// CrystalBall predicting the safety violation and steering around it,
+// with the immediate safety check as fallback.
+//
+//	go run ./examples/paxos-steering
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/experiments"
+	"crystalball/internal/services/paxos"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/sm"
+)
+
+func main() {
+	members := []sm.NodeID{1, 2, 3}
+	run := func(protected bool, gap time.Duration) {
+		s := sim.New(11)
+		factory := paxos.New(paxos.Config{Members: members, Bug1: true})
+
+		var ctrlCfg *controller.Config
+		if protected {
+			cfg := controller.DefaultConfig(paxos.Properties, factory)
+			cfg.Mode = controller.ExecutionSteering
+			cfg.MCStates = 15000
+			cfg.SnapshotInterval = 3 * time.Second
+			ctrlCfg = &cfg
+		}
+		snapCfg := experiments.SnapCfg()
+		snapCfg.Interval = 3 * time.Second
+		path := simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
+		d := experiments.Deploy(s, path, len(members), factory, ctrlCfg, snapCfg)
+		a, b, c := d.Nodes[0], d.Nodes[1], d.Nodes[2]
+		_ = c
+
+		// Round 1: C is partitioned away; A proposes 0 and it is
+		// chosen by {A, B}.
+		d.Net.PartitionNode(c.ID, true)
+		a.App(paxos.Propose{Val: 0})
+		s.RunFor(2 * time.Second)
+		d.Net.PartitionNode(c.ID, false)
+
+		// The inter-round gap is CrystalBall's prediction window.
+		s.RunFor(gap)
+
+		// Round 2: A is partitioned away; B proposes 1 (the paper's
+		// "Propose(B,1)"). With bug 1 the bare system chooses a
+		// second value.
+		d.Net.PartitionNode(a.ID, true)
+		b.App(paxos.Propose{Val: 1})
+		s.RunFor(5 * time.Second)
+		d.Net.PartitionNode(a.ID, false)
+		s.RunFor(3 * time.Second)
+
+		label := "bare"
+		if protected {
+			label = "CrystalBall"
+		}
+		if paxos.Properties.Holds(d.View()) {
+			fmt.Printf("%-12s gap=%-4v -> safe (one value chosen)\n", label, gap)
+		} else {
+			fmt.Printf("%-12s gap=%-4v -> VIOLATION (two values chosen)\n", label, gap)
+		}
+		if protected {
+			var filters, isc int64
+			for _, node := range d.Nodes {
+				filters += node.Stats.MessagesDropped
+				isc += node.Stats.ISCBlocks
+			}
+			fmt.Printf("             steering drops=%d, ISC blocks=%d\n", filters, isc)
+		}
+	}
+
+	fmt.Println("Figure 13 scenario, Paxos with injected bug 1:")
+	run(false, 20*time.Second) // unprotected: the violation happens
+	run(true, 20*time.Second)  // long gap: CrystalBall intervenes in time
+	// A very short gap can beat even the immediate safety check: the
+	// first neighborhood snapshot may not have been collected yet, so
+	// the ISC evaluates against an empty view — the same checkpoint
+	// incompleteness behind the paper's 2-5% residual violations.
+	run(true, 1*time.Second)
+}

@@ -1,0 +1,72 @@
+// Quickstart: run a 6-node RandTree overlay under CrystalBall's deep
+// online debugging mode and watch consequence prediction report future
+// inconsistencies of the shipped (buggy) implementation — the paper's
+// Figure 2 bug class among them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/runtime"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/sm"
+	"crystalball/internal/snapshot"
+)
+
+func main() {
+	// 1. A deterministic simulated deployment: 6 nodes on a uniform
+	//    20 ms network.
+	s := sim.New(7)
+	net := simnet.New(s, simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8})
+	ids := []sm.NodeID{1, 2, 3, 4, 5, 6}
+
+	// 2. The service under test: RandTree as shipped (bugs present).
+	factory := randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 2})
+
+	// 3. One CrystalBall controller per node: consistent neighborhood
+	//    snapshots every 10 s, consequence prediction over them, reports
+	//    on violation of the paper's four RandTree safety properties.
+	cfg := controller.DefaultConfig(randtree.Properties, factory)
+	cfg.Mode = controller.DeepOnlineDebugging
+	cfg.MCStates = 8000
+	cfg.EnableISC = false
+
+	var ctrls []*controller.Controller
+	for _, id := range ids {
+		node := runtime.NewNode(s, net, id, factory)
+		c := controller.New(s, node, cfg, snapshot.DefaultConfig())
+		c.OnViolation = func(f controller.Finding) {
+			fmt.Printf("[%v] node %v predicts violation of %v, %d steps ahead:\n",
+				s.Now(), c.Node().ID, f.Properties, len(f.Path))
+			for _, ev := range f.Path {
+				fmt.Printf("    %s\n", ev.Describe())
+			}
+		}
+		c.Start()
+		ctrls = append(ctrls, c)
+
+		node.App(randtree.AppJoin{})
+	}
+
+	// 4. Churn: node 5 silently resets and rejoins — the trigger for the
+	//    Figure 2 class of inconsistencies.
+	s.After(30*time.Second, func() {
+		fmt.Printf("[%v] node 5 silently resets and rejoins\n", s.Now())
+		ctrls[4].Node().Reset(true)
+		ctrls[4].Node().App(randtree.AppJoin{})
+	})
+
+	s.RunFor(3 * time.Minute)
+
+	total := 0
+	for _, c := range ctrls {
+		total += len(c.Findings())
+	}
+	fmt.Printf("\n%d predictions across %d nodes in 3 virtual minutes\n", total, len(ids))
+}

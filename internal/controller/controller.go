@@ -1,0 +1,445 @@
+// Package controller implements the CrystalBall controller of the paper's
+// Figure 7: it periodically collects a consistent snapshot of the node's
+// neighborhood, feeds it (with the local checkpoint) to the consequence-
+// prediction model checker, and acts on predicted violations.
+//
+// Two operating modes mirror the paper:
+//
+//   - DeepOnlineDebugging: predicted violations are recorded as findings;
+//   - ExecutionSteering: the controller derives an event filter from the
+//     earliest controllable event of the violation path ("our current
+//     policy is to steer the execution as early as possible"), re-runs
+//     consequence prediction with the filter applied to check the filter
+//     itself is safe, and installs it into the runtime. Filters are removed
+//     after every model-checking run; at the start of each run, previously
+//     discovered error paths are replayed against the fresh snapshot and
+//     filters are immediately reinstalled if the violation still reproduces.
+//
+// Because the paper runs the checker as a separate process that races the
+// live system, the controller charges a configurable virtual latency per
+// explored state and only delivers the checker's report after that much
+// simulated time: a bug that fires before the report lands must be caught
+// by the immediate safety check (or not at all), which is exactly the
+// decomposition Figure 14 measures.
+package controller
+
+import (
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/props"
+	"crystalball/internal/runtime"
+	"crystalball/internal/sim"
+	"crystalball/internal/sm"
+	"crystalball/internal/snapshot"
+)
+
+// Mode selects what the controller does with predicted violations.
+type Mode int
+
+// Controller modes (paper section 3).
+const (
+	// DeepOnlineDebugging only records violation reports.
+	DeepOnlineDebugging Mode = iota
+	// ExecutionSteering installs event filters to avoid predicted
+	// violations, with the immediate safety check as a fallback.
+	ExecutionSteering
+)
+
+func (m Mode) String() string {
+	if m == ExecutionSteering {
+		return "execution-steering"
+	}
+	return "deep-online-debugging"
+}
+
+// Config parameterises a controller.
+type Config struct {
+	Mode  Mode
+	Props props.Set
+	// Factory rebuilds service instances from checkpoints.
+	Factory sm.Factory
+	// SnapshotInterval is the gap between model-checking rounds
+	// (paper: checkpointing interval 10 s).
+	SnapshotInterval time.Duration
+	// MCStates bounds consequence prediction per round.
+	MCStates int
+	// MCDepth bounds search depth (0 = unbounded).
+	MCDepth int
+	// PerStateCost is the virtual model-checking time charged per
+	// explored state; the report arrives only after the total latency.
+	PerStateCost time.Duration
+	// ExploreResets lets the checker consider node-reset faults.
+	ExploreResets bool
+	// EnableISC turns on the immediate safety check as a fallback.
+	EnableISC bool
+	// CheckFilterSafety re-runs consequence prediction with a candidate
+	// filter before installing it (ablation: disable to measure the
+	// paper's safety argument).
+	CheckFilterSafety bool
+	// ReplayPaths replays previously found error paths at the start of
+	// each round to quickly reinstall still-relevant filters.
+	ReplayPaths bool
+	// MaxStoredPaths bounds remembered error paths.
+	MaxStoredPaths int
+	// Seed drives checker determinism.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig(ps props.Set, factory sm.Factory) Config {
+	return Config{
+		Mode:              DeepOnlineDebugging,
+		Props:             ps,
+		Factory:           factory,
+		SnapshotInterval:  10 * time.Second,
+		MCStates:          20000,
+		MCDepth:           0,
+		PerStateCost:      300 * time.Microsecond,
+		ExploreResets:     true,
+		EnableISC:         true,
+		CheckFilterSafety: true,
+		ReplayPaths:       true,
+		MaxStoredPaths:    16,
+	}
+}
+
+// Finding is one recorded violation prediction.
+type Finding struct {
+	Properties []string
+	Path       []sm.Event
+	Hash       uint64
+	FoundAt    sim.Time
+	// Filter is the corrective action chosen (nil when none exists or
+	// in debugging mode).
+	Filter *sm.Filter
+}
+
+// Signature identifies the finding's bug class for deduplication: the
+// violated properties plus the kind of the path's final event (handler at
+// fault), with node identities stripped so the same bug found at different
+// nodes counts once.
+func (f Finding) Signature() string {
+	sig := ""
+	for _, p := range f.Properties {
+		sig += p + "|"
+	}
+	if n := len(f.Path); n > 0 {
+		sig += EventKind(f.Path[n-1])
+	}
+	return sig
+}
+
+// EventKind renders an event's identity-free kind ("msg:Join",
+// "timer:recovery", "reset", ...).
+func EventKind(ev sm.Event) string {
+	switch e := ev.(type) {
+	case sm.MsgEvent:
+		return "msg:" + e.Msg.MsgType()
+	case sm.TimerEvent:
+		return "timer:" + string(e.Timer)
+	case sm.AppEvent:
+		return "app:" + e.Call.CallName()
+	case sm.ResetEvent:
+		return "reset"
+	case sm.ErrorEvent:
+		return "error"
+	case sm.DropEvent:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts controller activity; the steering experiments read these.
+type Stats struct {
+	Rounds              int64
+	SnapshotFailures    int64
+	ViolationsPredicted int64
+	FiltersInstalled    int64
+	SteeringUnhelpful   int64 // no corrective action, or filter deemed unsafe
+	FilterUnsafe        int64 // filters rejected by the safety recheck
+	ReplayReinstalls    int64
+	StatesExplored      int64
+	MCVirtualTime       time.Duration
+	// PredictionsDelivered counts predictions handed to steering-aware
+	// services (sm.SteeringAware) instead of generic filters.
+	PredictionsDelivered int64
+}
+
+// Controller drives CrystalBall for one node.
+type Controller struct {
+	sim  *sim.Simulator
+	node *runtime.Node
+	mgr  *snapshot.Manager
+	cfg  Config
+
+	lastView *props.View
+	findings []Finding
+	paths    []Finding // stored error paths for replay (with filters)
+	busy     bool
+	lastHash uint64 // hash of the last fully-searched snapshot
+
+	// OnViolation, if set, is called when a report with violations is
+	// processed (used by experiments to observe prediction timing).
+	OnViolation func(f Finding)
+
+	Stats Stats
+}
+
+// New attaches a controller to a node. The node gets a checkpoint manager
+// (snapCfg) and, if cfg.EnableISC, the immediate safety check wired to the
+// controller's latest neighborhood snapshot.
+func New(s *sim.Simulator, node *runtime.Node, cfg Config, snapCfg snapshot.Config) *Controller {
+	c := &Controller{
+		sim:  s,
+		node: node,
+		mgr:  snapshot.NewManager(s, node, snapCfg),
+		cfg:  cfg,
+	}
+	if cfg.EnableISC {
+		node.EnableISC(cfg.Props, func() *props.View { return c.lastView })
+	}
+	return c
+}
+
+// Node returns the underlying runtime node.
+func (c *Controller) Node() *runtime.Node { return c.node }
+
+// Manager returns the checkpoint manager.
+func (c *Controller) Manager() *snapshot.Manager { return c.mgr }
+
+// Findings returns all recorded violation predictions.
+func (c *Controller) Findings() []Finding { return c.findings }
+
+// LastView returns the most recent decoded neighborhood snapshot.
+func (c *Controller) LastView() *props.View { return c.lastView }
+
+// Start begins periodic snapshot + model-checking rounds.
+func (c *Controller) Start() { c.scheduleRound(c.cfg.SnapshotInterval) }
+
+func (c *Controller) scheduleRound(d time.Duration) {
+	c.sim.After(d, c.round)
+}
+
+func (c *Controller) round() {
+	if c.busy {
+		c.scheduleRound(c.cfg.SnapshotInterval)
+		return
+	}
+	c.busy = true
+	neighbors := c.node.Service().Neighbors()
+	c.mgr.Collect(neighbors, c.onSnapshot)
+}
+
+func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
+	if snap == nil || len(snap.States) == 0 {
+		c.Stats.SnapshotFailures++
+		c.busy = false
+		c.scheduleRound(c.cfg.SnapshotInterval)
+		return
+	}
+	c.Stats.Rounds++
+	// Decode the checkpoints into service instances; this state is both
+	// the checker's start state and the ISC's evaluation context.
+	start := mc.NewGState()
+	view := props.NewView()
+	for id, data := range snap.States {
+		svc, timers, err := sm.DecodeFullState(c.cfg.Factory, id, data)
+		if err != nil {
+			continue
+		}
+		start.AddNode(id, svc, timers)
+		// The view holds independent clones so later checker mutations
+		// cannot alias it.
+		view.Add(id, svc.Clone(), timers)
+	}
+	c.lastView = view
+
+	searchCfg := mc.Config{
+		Props:         c.cfg.Props,
+		Factory:       c.cfg.Factory,
+		Mode:          mc.Consequence,
+		MaxStates:     c.cfg.MCStates,
+		MaxDepth:      c.cfg.MCDepth,
+		ExploreResets: c.cfg.ExploreResets,
+		MaxViolations: 8,
+		Seed:          c.cfg.Seed,
+	}
+
+	// A snapshot identical to the last fully-searched one cannot yield
+	// new predictions, so the full model-checking run is skipped — and
+	// since filters are removed "after every model checking run", a
+	// skipped run leaves the installed filters in place.
+	if h := start.Hash(); h == c.lastHash {
+		c.busy = false
+		c.scheduleRound(c.cfg.SnapshotInterval)
+		return
+	}
+
+	// Step 1 (paper, "Rechecking Previously Discovered Violations"): the
+	// first thing the checker does is replay stored error paths; filters
+	// for paths that still violate are reinstalled near-instantly.
+	var reinstall []sm.Filter
+	replayStates := 0
+	if c.cfg.ReplayPaths && c.cfg.Mode == ExecutionSteering {
+		replayer := mc.NewSearch(searchCfg)
+		for _, f := range c.paths {
+			if f.Filter == nil {
+				continue
+			}
+			replayStates += len(f.Path)
+			if violated := replayer.Replay(start, f.Path); len(violated) > 0 {
+				reinstall = append(reinstall, *f.Filter)
+			}
+		}
+	}
+	replayLatency := time.Duration(replayStates) * c.cfg.PerStateCost
+	c.sim.After(replayLatency, func() {
+		// Filters from the previous round expire now; confirmed ones
+		// return immediately.
+		c.node.ClearFilters()
+		for _, f := range reinstall {
+			c.Stats.ReplayReinstalls++
+			c.Stats.FiltersInstalled++
+			c.node.InstallFilter(f)
+		}
+	})
+
+	c.lastHash = start.Hash()
+
+	// Step 2: the full consequence-prediction run. The search executes
+	// synchronously here but its report is delivered after the virtual
+	// model-checking latency, reproducing the checker/system race.
+	res := mc.NewSearch(searchCfg).Run(start)
+	c.Stats.StatesExplored += int64(res.StatesExplored)
+	mcLatency := replayLatency + time.Duration(res.StatesExplored)*c.cfg.PerStateCost
+	c.Stats.MCVirtualTime += mcLatency
+	c.sim.After(mcLatency, func() {
+		c.processReport(start, searchCfg, res)
+		c.busy = false
+		c.scheduleRound(c.cfg.SnapshotInterval)
+	})
+}
+
+func (c *Controller) processReport(start *mc.GState, searchCfg mc.Config, res *mc.Result) {
+	// Different violations in one report often derive the same corrective
+	// filter (one bad handler reached along several interleavings); the
+	// safety verdict is cached per filter so each is checked — and
+	// installed — once per round.
+	verdicts := make(map[string]bool)
+	installed := make(map[string]bool)
+	for _, v := range res.Violations {
+		c.Stats.ViolationsPredicted++
+		finding := Finding{
+			Properties: v.Properties,
+			Path:       v.Path,
+			Hash:       v.StateHash,
+			FoundAt:    c.sim.Now(),
+		}
+		if c.cfg.Mode == ExecutionSteering {
+			// A steering-aware service gets the prediction directly
+			// (the paper's "special programming language exception"
+			// path) and applies its own policy; otherwise fall back
+			// to the generic event-filter mechanism.
+			if _, aware := c.node.Service().(sm.SteeringAware); aware {
+				var culprit sm.Event
+				for _, ev := range v.Path {
+					if ev.Node() == c.node.ID {
+						culprit = ev
+						break
+					}
+				}
+				c.node.NotifyPrediction(v.Properties, culprit)
+				c.Stats.PredictionsDelivered++
+				c.recordFinding(finding)
+				if c.OnViolation != nil {
+					c.OnViolation(finding)
+				}
+				continue
+			}
+			if f, ok := c.correctiveFilter(v.Path); ok {
+				key := f.String()
+				safe, checked := verdicts[key]
+				if !checked {
+					safe = !c.cfg.CheckFilterSafety || c.filterIsSafe(start, searchCfg, f)
+					verdicts[key] = safe
+				}
+				switch {
+				case !safe:
+					c.Stats.FilterUnsafe++
+					c.Stats.SteeringUnhelpful++
+				case installed[key]:
+					// Same filter already covers this violation.
+					finding.Filter = &f
+				default:
+					installed[key] = true
+					finding.Filter = &f
+					c.Stats.FiltersInstalled++
+					c.node.InstallFilter(f)
+				}
+			} else {
+				c.Stats.SteeringUnhelpful++
+			}
+		}
+		c.recordFinding(finding)
+		if c.OnViolation != nil {
+			c.OnViolation(finding)
+		}
+	}
+}
+
+// correctiveFilter picks the earliest event of the path that this node can
+// block: a message delivered to it, or one of its own timer/app events.
+func (c *Controller) correctiveFilter(path []sm.Event) (sm.Filter, bool) {
+	for _, ev := range path {
+		if ev.Node() != c.node.ID {
+			continue
+		}
+		if f, ok := sm.FilterForEvent(ev); ok {
+			return f, true
+		}
+	}
+	return sm.Filter{}, false
+}
+
+// filterIsSafe re-runs consequence prediction with the candidate filter's
+// corrective action applied; the filter is safe when no violation remains
+// reachable within the budget (paper, "Ensuring Safety of Event Filter
+// Actions").
+func (c *Controller) filterIsSafe(start *mc.GState, searchCfg mc.Config, f sm.Filter) bool {
+	cfg := searchCfg
+	cfg.Filters = []sm.Filter{f}
+	cfg.MaxViolations = 1
+	// The safety check is a second, cheaper pass.
+	cfg.MaxStates = searchCfg.MaxStates / 2
+	res := mc.NewSearch(cfg).Run(start)
+	c.Stats.StatesExplored += int64(res.StatesExplored)
+	return len(res.Violations) == 0
+}
+
+func (c *Controller) recordFinding(f Finding) {
+	c.findings = append(c.findings, f)
+	if f.Filter != nil || c.cfg.Mode == DeepOnlineDebugging {
+		c.paths = append(c.paths, f)
+		if len(c.paths) > c.cfg.MaxStoredPaths {
+			c.paths = c.paths[len(c.paths)-c.cfg.MaxStoredPaths:]
+		}
+	}
+}
+
+// DistinctFindings deduplicates findings by bug-class signature; the
+// Table 1 experiment reports these.
+func DistinctFindings(findings []Finding) []Finding {
+	seen := make(map[string]bool)
+	var out []Finding
+	for _, f := range findings {
+		sig := f.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig12ExhaustiveGrowth(t *testing.T) {
+	pts := Fig12Exhaustive(Fig12Config{Seed: 1, Nodes: 4, MaxDepth: 5, MaxStates: 200000})
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	// The hallmark of Figure 12: state counts (and so elapsed time) grow
+	// superlinearly with depth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].States < pts[i-1].States {
+			t.Fatalf("states shrank with depth: %+v", pts)
+		}
+	}
+	if pts[4].States < 8*pts[1].States {
+		t.Fatalf("no exponential growth: depth2=%d depth5=%d", pts[1].States, pts[4].States)
+	}
+	if !strings.Contains(FormatDepthPoints("x", pts), "depth") {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestFig15MemoryGrowsAndPerStateStabilises(t *testing.T) {
+	pts := Fig15Memory(Fig15Config{Seed: 1, MaxDepth: 5, MaxStates: 150000})
+	last := pts[len(pts)-1]
+	if last.MemBytes <= pts[0].MemBytes {
+		t.Fatalf("memory did not grow with depth: %+v", pts)
+	}
+	// Figure 16's shape: per-state cost settles in the hundreds of bytes.
+	if last.PerStateByte < 20 || last.PerStateByte > 5000 {
+		t.Fatalf("per-state bytes implausible: %v", last.PerStateByte)
+	}
+}
+
+func TestDepthComparisonConsequenceWins(t *testing.T) {
+	rows := DepthComparison(1, 2*time.Second, []int{5})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	var exLive, cpLive DepthBudgetRow
+	for _, r := range rows {
+		if r.Start != "live-snapshot" {
+			continue
+		}
+		if r.Mode == "exhaustive" {
+			exLive = r
+		} else {
+			cpLive = r
+		}
+	}
+	// From the live snapshot, consequence prediction must find the
+	// Figure 2-class violation with no more states than exhaustive.
+	if cpLive.Violations == 0 {
+		t.Fatal("consequence prediction missed the live-snapshot violation")
+	}
+	if exLive.Violations > 0 && cpLive.States > exLive.States {
+		t.Fatalf("consequence needed more states (%d) than exhaustive (%d)",
+			cpLive.States, exLive.States)
+	}
+}
+
+func TestTable1FindsBugsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results := Table1(Table1Config{Seed: 3, Nodes: 8, Duration: 4 * time.Minute, MCStates: 6000})
+	var total int
+	for _, r := range results {
+		total += len(r.Distinct)
+	}
+	if total == 0 {
+		t.Fatal("deep online debugging found nothing at all")
+	}
+	out := FormatTable1(results)
+	if !strings.Contains(out, "RandTree") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSteeringArmsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := SteeringConfig{Seed: 5, Nodes: 10, Duration: 6 * time.Minute, ChurnGap: 45 * time.Second, MCStates: 4000}
+	bare := RandTreeSteering(cfg, NoProtection)
+	protected := RandTreeSteering(cfg, SteeringAndISC)
+	if bare.ActionsExecuted == 0 || protected.ActionsExecuted == 0 {
+		t.Fatal("no actions executed")
+	}
+	// The qualitative claim: protection reduces ground-truth
+	// inconsistencies.
+	if bare.InconsistentStates == 0 {
+		t.Skip("churn too mild to trigger inconsistencies in this window")
+	}
+	if protected.InconsistentStates > bare.InconsistentStates {
+		t.Fatalf("protection increased inconsistencies: %d -> %d",
+			bare.InconsistentStates, protected.InconsistentStates)
+	}
+	_ = FormatSteering([]SteeringResult{bare, protected})
+}
+
+func TestFig14Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := Fig14Paxos(Fig14Config{Seed: 7, Runs: 6, MaxGap: 30 * time.Second, MCStates: 8000})
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Steering+r.ISC+r.Violated+r.Clean != r.Runs {
+			t.Fatalf("outcomes do not sum to runs: %+v", r)
+		}
+		// The headline claim: most runs avoid the violation.
+		if r.Violated > r.Runs/2 {
+			t.Fatalf("%s: more than half the runs violated: %+v", r.Bug, r)
+		}
+	}
+	_ = FormatFig14(res)
+}
+
+func TestFig17Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig17Bullet(Fig17Config{Seed: 9, Nodes: 6, Blocks: 16, BlockSize: 32 << 10, Deadline: 10 * time.Minute})
+	if r.Completed[0] == 0 || r.Completed[1] == 0 {
+		t.Fatalf("downloads did not complete: %+v", r.Completed)
+	}
+	// CrystalBall should not make it pathologically slower.
+	if r.MeanSlowdown > 0.5 {
+		t.Fatalf("slowdown %.0f%% too large", 100*r.MeanSlowdown)
+	}
+	_ = FormatFig17(r)
+}
+
+func TestOverheadQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Overhead(OverheadConfig{Seed: 11, Nodes: 10, Duration: time.Minute})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanCheckpointRaw <= 0 {
+			t.Fatalf("%s: no checkpoint size measured", r.System)
+		}
+		if r.PerNodeBps <= 0 {
+			t.Fatalf("%s: no checkpoint bandwidth measured", r.System)
+		}
+	}
+	_ = FormatOverhead(rows)
+}

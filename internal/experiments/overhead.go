@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"time"
+
+	"crystalball/internal/runtime"
+	"crystalball/internal/services/bulletprime"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/snapshot"
+	"crystalball/internal/stats"
+)
+
+// OverheadConfig parameterises the checkpoint-overhead measurements.
+type OverheadConfig struct {
+	Seed     int64
+	Nodes    int // paper: 100 logical nodes
+	Duration time.Duration
+}
+
+// OverheadRow reports one service's checkpoint costs (paper section 5.5:
+// RandTree checkpoints ~176 B at ~803 bps/node, Chord ~1028 B at ~8224
+// bps/node, Bullet′ ~3 kB compressed at ~30 kbps).
+type OverheadRow struct {
+	System             string
+	MeanCheckpointRaw  float64 // bytes, uncompressed
+	MeanCheckpointWire float64 // bytes on the wire (compressed, deduped)
+	PerNodeBps         float64
+	PaperCkptBytes     int
+	PaperBps           float64
+}
+
+// Overhead measures checkpoint sizes and per-node checkpoint bandwidth for
+// the three data-plane services with snapshots collected every 10 s.
+func Overhead(cfg OverheadConfig) []OverheadRow {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 30
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 3 * time.Minute
+	}
+	rows := []OverheadRow{
+		overheadRandTree(cfg),
+		overheadChord(cfg),
+		overheadBullet(cfg),
+	}
+	return rows
+}
+
+// runOverhead deploys the service with checkpoint managers and periodic
+// neighborhood collections, then reports sizes and bandwidth.
+func runOverhead(system string, s *sim.Simulator, nodes []*runtime.Node,
+	net *simnet.Network, duration time.Duration) OverheadRow {
+	var mgrs []*snapshot.Manager
+	for _, node := range nodes {
+		mgrs = append(mgrs, snapshot.NewManager(s, node, SnapCfg()))
+	}
+	// Every node gathers its neighborhood snapshot every 10 s, like the
+	// controller would.
+	for i, node := range nodes {
+		node := node
+		mgr := mgrs[i]
+		var round func()
+		round = func() {
+			mgr.Collect(node.Service().Neighbors(), func(*snapshot.Snapshot) {})
+			s.After(10*time.Second, round)
+		}
+		s.After(10*time.Second+time.Duration(i)*50*time.Millisecond, round)
+	}
+	s.RunFor(duration)
+
+	// Mean checkpoint sizes: raw is the node's actual state-encoding
+	// size; wire averages only over payload-carrying responses
+	// (duplicate-suppressed responses transfer no state by design).
+	raw, wire := &stats.Sample{}, &stats.Sample{}
+	for _, mgr := range mgrs {
+		if sz := mgr.LatestCheckpointSize(); sz > 0 {
+			raw.Add(float64(sz))
+		}
+		if payload := mgr.Stats.ResponsesSent - mgr.Stats.DupSuppressed; payload > 0 {
+			wire.Add(float64(mgr.Stats.BytesSentWire) / float64(payload))
+		}
+	}
+	total := net.TotalBytesOut(simnet.KindCheckpoint)
+	bps := stats.Rate(total, duration) / float64(len(nodes))
+	return OverheadRow{
+		System:             system,
+		MeanCheckpointRaw:  raw.Mean(),
+		MeanCheckpointWire: wire.Mean(),
+		PerNodeBps:         bps,
+	}
+}
+
+func overheadRandTree(cfg OverheadConfig) OverheadRow {
+	s := sim.New(cfg.Seed)
+	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 4, Fixes: randtree.AllFixes})
+	net := simnet.New(s, lanPath())
+	var nodes []*runtime.Node
+	for _, id := range ids(cfg.Nodes) {
+		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
+	}
+	for _, node := range nodes {
+		node.App(randtree.AppJoin{})
+	}
+	s.RunFor(20 * time.Second) // let the tree form
+	row := runOverhead("RandTree", s, nodes, net, cfg.Duration)
+	row.PaperCkptBytes, row.PaperBps = 176, 803
+	return row
+}
+
+func overheadChord(cfg OverheadConfig) OverheadRow {
+	s := sim.New(cfg.Seed + 1)
+	factory := chord.New(chord.Config{Bootstrap: ids(cfg.Nodes)[:1], Fixes: chord.AllFixes})
+	net := simnet.New(s, lanPath())
+	var nodes []*runtime.Node
+	for _, id := range ids(cfg.Nodes) {
+		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
+	}
+	for i, node := range nodes {
+		node := node
+		s.After(time.Duration(i)*500*time.Millisecond, func() { node.App(chord.AppJoin{}) })
+	}
+	s.RunFor(time.Duration(cfg.Nodes)*500*time.Millisecond + 10*time.Second)
+	row := runOverhead("Chord", s, nodes, net, cfg.Duration)
+	row.PaperCkptBytes, row.PaperBps = 1028, 8224
+	return row
+}
+
+func overheadBullet(cfg OverheadConfig) OverheadRow {
+	s := sim.New(cfg.Seed + 2)
+	n := cfg.Nodes
+	if n > 12 {
+		n = 12
+	}
+	factory := bulletprime.New(bulletprime.Config{
+		Members: ids(n), Source: 1, Blocks: 48, BlockSize: 32 << 10,
+		Fixes: bulletprime.AllFixes,
+	})
+	net := simnet.New(s, lanPath())
+	var nodes []*runtime.Node
+	for _, id := range ids(n) {
+		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
+	}
+	s.RunFor(10 * time.Second) // mesh + some transfer state
+	row := runOverhead("Bullet'", s, nodes, net, cfg.Duration)
+	row.PaperCkptBytes, row.PaperBps = 3000, 30000
+	return row
+}
+
+// FormatOverhead renders the section 5.5 table.
+func FormatOverhead(rows []OverheadRow) string {
+	t := stats.Table{
+		Title: "Section 5.5: checkpoint sizes and bandwidth",
+		Header: []string{"system", "ckpt-raw(B)", "ckpt-wire(B)", "bps/node",
+			"paper-ckpt(B)", "paper-bps"},
+	}
+	for _, r := range rows {
+		t.Add(r.System, r.MeanCheckpointRaw, r.MeanCheckpointWire, r.PerNodeBps,
+			r.PaperCkptBytes, r.PaperBps)
+	}
+	return t.String()
+}

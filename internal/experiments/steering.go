@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/sm"
+	"crystalball/internal/stats"
+)
+
+// SteeringConfig parameterises the RandTree execution-steering experiment
+// (paper section 5.4.1).
+type SteeringConfig struct {
+	Seed     int64
+	Nodes    int           // paper: 25
+	Duration time.Duration // paper: 1.4 h of churn
+	ChurnGap time.Duration // paper: one leave+join per minute on average
+	MCStates int
+}
+
+// SteeringMode selects which protections are active.
+type SteeringMode int
+
+// Steering experiment arms (the paper's three runs).
+const (
+	// NoProtection runs the buggy service bare.
+	NoProtection SteeringMode = iota
+	// ISCOnly runs only the immediate safety check.
+	ISCOnly
+	// SteeringAndISC runs execution steering with the ISC fallback.
+	SteeringAndISC
+)
+
+func (m SteeringMode) String() string {
+	switch m {
+	case NoProtection:
+		return "no CrystalBall"
+	case ISCOnly:
+		return "ISC only"
+	default:
+		return "steering + ISC"
+	}
+}
+
+// SteeringResult reports one arm's counters (the paper's section 5.4.1
+// numbers: 121 inconsistent states bare; 325 ISC blocks; 480 predictions /
+// 415 steered / 65 unhelpful / 160 ISC with both on; 0 violations; 2.77%
+// of 14,956 actions changed; join times unchanged).
+type SteeringResult struct {
+	Mode                SteeringMode
+	InconsistentStates  int64 // ground-truth states containing a violation
+	ActionsExecuted     int64
+	ActionsChanged      int64 // filter drops + deferrals + ISC blocks
+	ISCChecks           int64
+	ISCBlocks           int64
+	ViolationsPredicted int64
+	FiltersInstalled    int64
+	SteeringUnhelpful   int64
+	MeanJoinTime        time.Duration
+	JoinSamples         int
+}
+
+// RandTreeSteering runs one arm of the section 5.4.1 experiment: a 25-node
+// RandTree under churn with the documented bugs present, protected (or
+// not) by CrystalBall.
+func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 25
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Minute
+	}
+	if cfg.ChurnGap == 0 {
+		cfg.ChurnGap = time.Minute
+	}
+	if cfg.MCStates == 0 {
+		cfg.MCStates = 8000
+	}
+	s := sim.New(cfg.Seed)
+	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 3})
+
+	var ctrlCfg *controller.Config
+	if mode != NoProtection {
+		c := controller.DefaultConfig(randtree.Properties, factory)
+		c.MCStates = cfg.MCStates
+		c.EnableISC = true
+		c.SnapshotInterval = 10 * time.Second
+		if mode == SteeringAndISC {
+			c.Mode = controller.ExecutionSteering
+		} else {
+			c.Mode = controller.DeepOnlineDebugging
+			c.MCStates = 1 // ISC-only arm: no meaningful prediction
+		}
+		ctrlCfg = &c
+	}
+	d := Deploy(s, lanPath(), cfg.Nodes, factory, ctrlCfg, SnapCfg())
+
+	res := SteeringResult{Mode: mode}
+	// Ground truth: after every executed action anywhere, check the
+	// global state (the paper counts states containing inconsistencies).
+	for _, node := range d.Nodes {
+		node.OnEvent = func(ev sm.Event) {
+			if !randtree.Properties.Holds(d.View()) {
+				res.InconsistentStates++
+			}
+		}
+	}
+	for _, node := range d.Nodes {
+		node.App(randtree.AppJoin{})
+	}
+
+	// Churn with join-time measurement.
+	join := &stats.Sample{}
+	rng := s.RNG("steer-churn")
+	var churn func()
+	churn = func() {
+		node := d.Nodes[rng.Intn(len(d.Nodes))]
+		node.Reset(rng.Intn(2) == 0)
+		start := s.Now()
+		s.After(500*time.Millisecond, func() {
+			node.App(randtree.AppJoin{})
+			// Poll for join completion.
+			var poll func()
+			poll = func() {
+				if node.Service().(*randtree.Tree).Joined {
+					join.AddDuration(s.Now().Sub(start) - 500*time.Millisecond)
+					return
+				}
+				if s.Now().Sub(start) < 30*time.Second {
+					s.After(100*time.Millisecond, poll)
+				}
+			}
+			s.After(100*time.Millisecond, poll)
+		})
+		s.After(time.Duration(float64(cfg.ChurnGap)*expRand(rng.Float64())), churn)
+	}
+	s.After(cfg.ChurnGap, churn)
+
+	s.RunFor(cfg.Duration)
+
+	for _, node := range d.Nodes {
+		res.ActionsExecuted += node.Stats.ActionsExecuted
+		res.ActionsChanged += node.Stats.MessagesDropped + node.Stats.TimersDeferred +
+			node.Stats.AppsBlocked + node.Stats.ISCBlocks
+		res.ISCChecks += node.Stats.ISCChecks
+		res.ISCBlocks += node.Stats.ISCBlocks
+	}
+	for _, c := range d.Ctrls {
+		res.ViolationsPredicted += c.Stats.ViolationsPredicted
+		res.FiltersInstalled += c.Stats.FiltersInstalled
+		res.SteeringUnhelpful += c.Stats.SteeringUnhelpful
+	}
+	if join.N() > 0 {
+		res.MeanJoinTime = time.Duration(join.Mean() * float64(time.Second))
+		res.JoinSamples = join.N()
+	}
+	return res
+}
+
+// FormatSteering renders the three-arm comparison.
+func FormatSteering(results []SteeringResult) string {
+	t := stats.Table{
+		Title: "RandTree execution steering (section 5.4.1)",
+		Header: []string{"arm", "inconsistent-states", "actions", "changed", "changed%",
+			"ISC-blocks", "predicted", "filters", "unhelpful", "mean-join"},
+	}
+	for _, r := range results {
+		pct := 0.0
+		if r.ActionsExecuted > 0 {
+			pct = 100 * float64(r.ActionsChanged) / float64(r.ActionsExecuted)
+		}
+		t.Add(r.Mode.String(), r.InconsistentStates, r.ActionsExecuted, r.ActionsChanged,
+			fmt.Sprintf("%.2f", pct), r.ISCBlocks, r.ViolationsPredicted,
+			r.FiltersInstalled, r.SteeringUnhelpful, r.MeanJoinTime)
+	}
+	return t.String()
+}

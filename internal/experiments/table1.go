@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/services/bulletprime"
+	"crystalball/internal/services/chord"
+	"crystalball/internal/services/randtree"
+	"crystalball/internal/sim"
+	"crystalball/internal/sm"
+	"crystalball/internal/stats"
+)
+
+// Table1Config parameterises the deep-online-debugging bug hunt.
+type Table1Config struct {
+	Seed int64
+	// Nodes per service deployment (paper: 100 logical nodes for the
+	// large runs, 6 for the small ones).
+	Nodes int
+	// Duration of virtual time per service (paper: up to a day of wall
+	// time; violations typically surfaced within the hour).
+	Duration time.Duration
+	// MCStates bounds each consequence-prediction run.
+	MCStates int
+}
+
+// Table1Result reports distinct bug classes found per system.
+type Table1Result struct {
+	System   string
+	Findings []controller.Finding
+	Distinct []controller.Finding
+}
+
+// Table1 reproduces the paper's Table 1: CrystalBall in deep online
+// debugging mode runs against the buggy (as-shipped) implementations of
+// RandTree, Chord and Bullet′ under churn, and reports the distinct
+// inconsistency classes predicted (paper: RandTree 7, Chord 3, Bullet′ 3).
+func Table1(cfg Table1Config) []Table1Result {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 12
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Minute
+	}
+	if cfg.MCStates == 0 {
+		cfg.MCStates = 12000
+	}
+	return []Table1Result{
+		table1RandTree(cfg),
+		table1Chord(cfg),
+		table1Bullet(cfg),
+	}
+}
+
+func table1RandTree(cfg Table1Config) Table1Result {
+	s := sim.New(cfg.Seed)
+	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 3})
+	ctrl := controller.DefaultConfig(randtree.Properties, factory)
+	ctrl.Mode = controller.DeepOnlineDebugging
+	ctrl.MCStates = cfg.MCStates
+	ctrl.EnableISC = false // debugging observes, never intervenes
+	ctrl.SnapshotInterval = 15 * time.Second
+	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
+	for _, node := range d.Nodes {
+		node.App(randtree.AppJoin{})
+	}
+	// Churn: roughly one reset+rejoin per minute.
+	Churn(s, d, 60*time.Second, func(node *sm.NodeID) sm.AppCall { return randtree.AppJoin{} })
+	s.RunFor(cfg.Duration)
+	all := d.TotalFindings()
+	return Table1Result{System: "RandTree", Findings: all, Distinct: controller.DistinctFindings(all)}
+}
+
+func table1Chord(cfg Table1Config) Table1Result {
+	s := sim.New(cfg.Seed + 1)
+	factory := chord.New(chord.Config{Bootstrap: ids(cfg.Nodes)[:1]})
+	ctrl := controller.DefaultConfig(chord.Properties, factory)
+	ctrl.Mode = controller.DeepOnlineDebugging
+	ctrl.MCStates = cfg.MCStates
+	ctrl.EnableISC = false
+	ctrl.SnapshotInterval = 15 * time.Second
+	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
+	// Stagger joins so the ring forms.
+	for i, node := range d.Nodes {
+		node := node
+		s.After(time.Duration(i)*700*time.Millisecond, func() { node.App(chord.AppJoin{}) })
+	}
+	Churn(s, d, 60*time.Second, func(node *sm.NodeID) sm.AppCall { return chord.AppJoin{} })
+	s.RunFor(cfg.Duration)
+	all := d.TotalFindings()
+	return Table1Result{System: "Chord", Findings: all, Distinct: controller.DistinctFindings(all)}
+}
+
+func table1Bullet(cfg Table1Config) Table1Result {
+	s := sim.New(cfg.Seed + 2)
+	n := cfg.Nodes
+	if n > 10 {
+		n = 10 // Bullet′ state is heavy; the paper's run found its bug within minutes
+	}
+	factory := bulletprime.New(bulletprime.Config{
+		Members:   ids(n),
+		Source:    1,
+		Blocks:    24,
+		BlockSize: 32 << 10,
+	})
+	ctrl := controller.DefaultConfig(bulletprime.DebugProperties, factory)
+	ctrl.Mode = controller.DeepOnlineDebugging
+	ctrl.MCStates = cfg.MCStates / 2 // states are large
+	ctrl.EnableISC = false
+	ctrl.SnapshotInterval = 15 * time.Second
+	d := Deploy(s, lanPath(), n, factory, &ctrl, SnapCfg())
+	Churn(s, d, 90*time.Second, nil)
+	s.RunFor(cfg.Duration)
+	all := d.TotalFindings()
+	return Table1Result{System: "Bullet'", Findings: all, Distinct: controller.DistinctFindings(all)}
+}
+
+// Churn resets a random node (silently half the time) at exponential
+// intervals with the given mean, then reissues the join call if any.
+func Churn(s *sim.Simulator, d *Deployment, mean time.Duration, rejoin func(*sm.NodeID) sm.AppCall) {
+	rng := s.RNG("churn")
+	var tick func()
+	tick = func() {
+		node := d.Nodes[rng.Intn(len(d.Nodes))]
+		node.Reset(rng.Intn(2) == 0)
+		if rejoin != nil {
+			id := node.ID
+			call := rejoin(&id)
+			s.After(500*time.Millisecond, func() { node.App(call) })
+		}
+		gap := time.Duration(float64(mean) * expRand(rng.Float64()))
+		s.After(gap, tick)
+	}
+	s.After(time.Duration(float64(mean)*expRand(rng.Float64())), tick)
+}
+
+// expRand converts a uniform sample into a unit-mean exponential sample,
+// capped at 5 to avoid pathological gaps in short experiments.
+func expRand(u float64) float64 {
+	if u <= 0 {
+		u = 1e-9
+	}
+	x := -math.Log(u)
+	if x > 5 {
+		x = 5
+	}
+	return x
+}
+
+// FormatTable1 renders Table 1 alongside the paper's numbers.
+func FormatTable1(results []Table1Result) string {
+	paper := map[string]int{"RandTree": 7, "Chord": 3, "Bullet'": 3}
+	t := stats.Table{
+		Title:  "Table 1: inconsistencies found in deep online debugging",
+		Header: []string{"system", "distinct bug classes", "paper", "total findings"},
+	}
+	for _, r := range results {
+		t.Add(r.System, len(r.Distinct), paper[r.System], len(r.Findings))
+	}
+	s := t.String()
+	for _, r := range results {
+		for _, f := range r.Distinct {
+			s += fmt.Sprintf("  %s: %v via %s (depth %d)\n", r.System, f.Properties, lastKind(f), len(f.Path))
+		}
+	}
+	return s
+}
+
+func lastKind(f controller.Finding) string {
+	if len(f.Path) == 0 {
+		return "?"
+	}
+	return controller.EventKind(f.Path[len(f.Path)-1])
+}

@@ -1,0 +1,446 @@
+package mc
+
+import (
+	"math/rand"
+	"time"
+
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+// Mode selects the exploration algorithm.
+type Mode int
+
+// Exploration modes.
+const (
+	// Exhaustive is the standard breadth-first search of paper Figure 5
+	// (the MaceMC baseline).
+	Exhaustive Mode = iota
+	// Consequence is the consequence-prediction algorithm of paper
+	// Figure 8: breadth-first, but internal actions of a (node, local
+	// state) pair are explored at most once across the entire search.
+	Consequence
+	// RandomWalk repeatedly walks random enabled transitions to a depth
+	// bound (MaceMC's random-walk mode, used in the paper's section 5.3
+	// comparison).
+	RandomWalk
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Exhaustive:
+		return "exhaustive"
+	case Consequence:
+		return "consequence"
+	default:
+		return "random-walk"
+	}
+}
+
+// Config parameterises a search.
+type Config struct {
+	// Props are the safety properties to check on every explored state.
+	Props props.Set
+	// Factory creates fresh service instances for reset nodes.
+	Factory sm.Factory
+	// Mode selects the algorithm.
+	Mode Mode
+	// MaxStates bounds explored states (0 = unbounded).
+	MaxStates int
+	// MaxDepth bounds search depth (0 = unbounded).
+	MaxDepth int
+	// MaxWall bounds wall-clock time (0 = unbounded); part of the
+	// paper's StopCriterion for runtime deployment.
+	MaxWall time.Duration
+	// MaxViolations stops the search after this many distinct violating
+	// states (0 = collect all within other bounds).
+	MaxViolations int
+	// ExploreResets enables node-reset fault transitions.
+	ExploreResets bool
+	// MaxResetsPerPath bounds resets along a single path (default 1).
+	MaxResetsPerPath int
+	// ExploreConnBreaks adds spontaneous connection-break transitions: a
+	// node observes a transport error for one of its neighbors without a
+	// preceding reset. The paper treats transport errors as ordinary
+	// messages "generated and processed by message handlers", and
+	// several Chord scenarios (Figure 10) hinge on them.
+	ExploreConnBreaks bool
+	// Filters are event filters assumed installed; matching message
+	// events are replaced by the filter's corrective action. Used by the
+	// steering filter-safety check (paper: "upon encountering an
+	// inconsistency, we allow consequence prediction to pursue actions
+	// that an event filter could perform").
+	Filters []sm.Filter
+	// WalkDepth and Walks parameterise RandomWalk mode.
+	WalkDepth int
+	Walks     int
+	// Seed drives deterministic handler randomness.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.MaxResetsPerPath == 0 {
+		c.MaxResetsPerPath = 1
+	}
+	if c.WalkDepth == 0 {
+		c.WalkDepth = 60
+	}
+	if c.Walks == 0 {
+		c.Walks = 200
+	}
+}
+
+// Violation is a predicted inconsistency: the properties violated and the
+// event path from the start state that reaches the violating state.
+type Violation struct {
+	Properties []string
+	Path       []sm.Event
+	StateHash  uint64
+	Depth      int
+}
+
+// Result summarises a search.
+type Result struct {
+	Violations      []Violation
+	StatesExplored  int
+	Transitions     int
+	MaxDepthReached int
+	// PeakMemoryBytes approximates the search-tree footprint: encoded
+	// frontier states plus hash-set entries (Figures 15/16).
+	PeakMemoryBytes int64
+	// PerStateBytes is PeakMemoryBytes / StatesExplored (Figure 16).
+	PerStateBytes  float64
+	Elapsed        time.Duration
+	DummyRedirects int
+	// LocalPrunes counts internal-action expansions skipped by the
+	// consequence-prediction rule (0 in exhaustive mode).
+	LocalPrunes int
+}
+
+// Search runs one exploration. Create with NewSearch, run with Run.
+type Search struct {
+	cfg Config
+	// DummyRedirects counts messages redirected to the dummy node
+	// (sends to nodes outside the snapshot).
+	DummyRedirects int
+	localPrunes    int
+}
+
+// NewSearch returns a Search for the given configuration.
+func NewSearch(cfg Config) *Search {
+	cfg.defaults()
+	return &Search{cfg: cfg}
+}
+
+// searchNode is a frontier entry; parent links reconstruct violation paths.
+type searchNode struct {
+	state  *GState
+	parent *searchNode
+	event  sm.Event
+	depth  int
+	// violated carries the properties already violated along this path,
+	// so the search reports each violation's *onset* exactly once and
+	// keeps exploring (the paper's Figures 5 and 8 likewise continue
+	// past states added to the error set).
+	violated map[string]bool
+}
+
+func (n *searchNode) path() []sm.Event {
+	var rev []sm.Event
+	for cur := n; cur != nil && cur.event != nil; cur = cur.parent {
+		rev = append(rev, cur.event)
+	}
+	out := make([]sm.Event, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// filterFor returns the first installed filter matching ev, if any.
+func (s *Search) filterFor(ev sm.Event) (sm.Filter, bool) {
+	for _, f := range s.cfg.Filters {
+		if f.Matches(ev) {
+			return f, true
+		}
+	}
+	return sm.Filter{}, false
+}
+
+// applyFiltered executes the corrective action of filter f instead of ev:
+// a filtered message is dropped and, if BreakConn, an RST notification is
+// queued to the sender; filtered timers are rescheduled (no state change,
+// so no successor); filtered app calls are suppressed.
+func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
+	me, ok := ev.(sm.MsgEvent)
+	if !ok {
+		return nil
+	}
+	i := findMsg(g, me.From, me.To, me.Msg.MsgType(), false)
+	if i < 0 {
+		return nil
+	}
+	next := g.shallowClone()
+	next.msgs = removeMsg(next.msgs, i)
+	if f.BreakConn {
+		if _, known := next.nodes[me.From]; known {
+			next.msgs = append(next.msgs, InFlight{From: me.To, To: me.From, Msg: nil})
+		}
+	}
+	return next
+}
+
+// Run explores from the start state and returns the result. The start
+// state is not mutated.
+func (s *Search) Run(start *GState) *Result {
+	s.DummyRedirects = 0
+	s.localPrunes = 0
+	if s.cfg.Mode == RandomWalk {
+		return s.runRandomWalk(start)
+	}
+	return s.runBFS(start)
+}
+
+// runBFS implements both Figure 5 (exhaustive) and Figure 8 (consequence
+// prediction); the only difference is the localExplored test guarding
+// internal actions.
+func (s *Search) runBFS(start *GState) *Result {
+	began := time.Now()
+	res := &Result{}
+	explored := make(map[uint64]bool)
+	localExplored := make(map[uint64]bool)
+	frontier := []*searchNode{{state: start}}
+	var frontierBytes int64
+	frontierBytes += int64(start.EncodedSize())
+	peak := frontierBytes
+
+	stop := func() bool {
+		if s.cfg.MaxStates > 0 && res.StatesExplored >= s.cfg.MaxStates {
+			return true
+		}
+		if s.cfg.MaxWall > 0 && time.Since(began) > s.cfg.MaxWall {
+			return true
+		}
+		if s.cfg.MaxViolations > 0 && len(res.Violations) >= s.cfg.MaxViolations {
+			return true
+		}
+		return false
+	}
+
+	for len(frontier) > 0 && !stop() {
+		node := frontier[0]
+		frontier = frontier[1:]
+		frontierBytes -= int64(node.state.EncodedSize())
+		res.StatesExplored++
+		if node.depth > res.MaxDepthReached {
+			res.MaxDepthReached = node.depth
+		}
+		// Report the *onset* of each violation — properties violated
+		// here but not on the path so far — then keep exploring, as
+		// the paper's search does: a start state that already violates
+		// one property must not mask deeper, different bugs.
+		violated := s.cfg.Props.Check(node.state.View())
+		pathViolated := node.violated
+		if len(violated) > 0 {
+			var onset []string
+			for _, p := range violated {
+				if !pathViolated[p] {
+					onset = append(onset, p)
+				}
+			}
+			if len(onset) > 0 {
+				res.Violations = append(res.Violations, Violation{
+					Properties: onset,
+					Path:       node.path(),
+					StateHash:  node.state.Hash(),
+					Depth:      node.depth,
+				})
+				next := make(map[string]bool, len(pathViolated)+len(onset))
+				for p := range pathViolated {
+					next[p] = true
+				}
+				for _, p := range onset {
+					next[p] = true
+				}
+				pathViolated = next
+			}
+		}
+		explored[node.state.Hash()] = true
+		if s.cfg.MaxDepth > 0 && node.depth >= s.cfg.MaxDepth {
+			continue
+		}
+
+		expand := func(ev sm.Event) {
+			var next *GState
+			if f, ok := s.filterFor(ev); ok {
+				next = s.applyFiltered(node.state, ev, f)
+			} else {
+				next = s.apply(node.state, ev)
+			}
+			if next == nil {
+				return
+			}
+			res.Transitions++
+			h := next.Hash()
+			if explored[h] {
+				return
+			}
+			explored[h] = true
+			frontier = append(frontier, &searchNode{
+				state: next, parent: node, event: ev,
+				depth: node.depth + 1, violated: pathViolated,
+			})
+			frontierBytes += int64(next.EncodedSize())
+			if frontierBytes > peak {
+				peak = frontierBytes
+			}
+		}
+
+		network, internal := s.enabledEvents(node.state)
+		// H_M: always process all network handlers (Figure 8 line 13).
+		for _, ev := range network {
+			expand(ev)
+		}
+		// H_A: internal actions, pruned per (node, local state) in
+		// consequence mode (Figure 8 lines 16-20).
+		for _, id := range node.state.Nodes() {
+			evs := internal[id]
+			if len(evs) == 0 {
+				continue
+			}
+			if s.cfg.Mode == Consequence {
+				lh := node.state.nodes[id].localHash(id)
+				if localExplored[lh] {
+					s.localPrunes += len(evs)
+					continue
+				}
+				localExplored[lh] = true
+			}
+			for _, ev := range evs {
+				expand(ev)
+			}
+		}
+	}
+
+	res.Elapsed = time.Since(began)
+	res.DummyRedirects = s.DummyRedirects
+	res.LocalPrunes = s.localPrunes
+	// Hash-set entries cost roughly 16 bytes (8-byte key + bucket
+	// overhead amortised); frontier states dominate at shallow depths.
+	res.PeakMemoryBytes = peak + int64(len(explored)+len(localExplored))*16
+	if res.StatesExplored > 0 {
+		res.PerStateBytes = float64(res.PeakMemoryBytes) / float64(res.StatesExplored)
+	}
+	return res
+}
+
+// runRandomWalk performs cfg.Walks random walks of cfg.WalkDepth steps.
+func (s *Search) runRandomWalk(start *GState) *Result {
+	began := time.Now()
+	res := &Result{}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	seenViolation := make(map[uint64]bool)
+
+	for walk := 0; walk < s.cfg.Walks; walk++ {
+		if s.cfg.MaxWall > 0 && time.Since(began) > s.cfg.MaxWall {
+			break
+		}
+		if s.cfg.MaxViolations > 0 && len(res.Violations) >= s.cfg.MaxViolations {
+			break
+		}
+		node := &searchNode{state: start}
+		walkViolated := make(map[string]bool)
+		for depth := 0; depth < s.cfg.WalkDepth; depth++ {
+			if s.cfg.MaxStates > 0 && res.StatesExplored >= s.cfg.MaxStates {
+				break
+			}
+			res.StatesExplored++
+			if depth > res.MaxDepthReached {
+				res.MaxDepthReached = depth
+			}
+			if violated := s.cfg.Props.Check(node.state.View()); len(violated) > 0 {
+				var onset []string
+				for _, p := range violated {
+					if !walkViolated[p] {
+						onset = append(onset, p)
+						walkViolated[p] = true
+					}
+				}
+				h := node.state.Hash()
+				if len(onset) > 0 && !seenViolation[h] {
+					seenViolation[h] = true
+					res.Violations = append(res.Violations, Violation{
+						Properties: onset,
+						Path:       node.path(),
+						StateHash:  h,
+						Depth:      depth,
+					})
+				}
+			}
+			network, internal := s.enabledEvents(node.state)
+			all := append([]sm.Event{}, network...)
+			for _, id := range node.state.Nodes() {
+				all = append(all, internal[id]...)
+			}
+			if len(all) == 0 {
+				break
+			}
+			// Try events in random order until one applies.
+			perm := rng.Perm(len(all))
+			var next *GState
+			var chosen sm.Event
+			for _, i := range perm {
+				ev := all[i]
+				if f, ok := s.filterFor(ev); ok {
+					next = s.applyFiltered(node.state, ev, f)
+				} else {
+					next = s.apply(node.state, ev)
+				}
+				if next != nil {
+					chosen = ev
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			res.Transitions++
+			node = &searchNode{state: next, parent: node, event: chosen, depth: node.depth + 1}
+		}
+	}
+	res.Elapsed = time.Since(began)
+	res.DummyRedirects = s.DummyRedirects
+	return res
+}
+
+// Replay re-executes a previously discovered error path from a (new) start
+// state, following the paper's replay rule: timer and application events
+// (and faults) replay directly, while message and error events replay only
+// if the corresponding item is actually in flight — the service code itself
+// regenerates messages, and we follow their causality. It returns the
+// violated properties if the path still leads to a violation from this
+// state, or nil.
+func (s *Search) Replay(start *GState, path []sm.Event) []string {
+	g := start
+	if violated := s.cfg.Props.Check(g.View()); len(violated) > 0 {
+		return violated
+	}
+	for _, ev := range path {
+		var next *GState
+		if f, ok := s.filterFor(ev); ok {
+			next = s.applyFiltered(g, ev, f)
+		} else {
+			next = s.apply(g, ev)
+		}
+		if next == nil {
+			// Event not applicable from the new state: the path is
+			// no longer feasible.
+			return nil
+		}
+		g = next
+		if violated := s.cfg.Props.Check(g.View()); len(violated) > 0 {
+			return violated
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package mc implements the model checker at the heart of CrystalBall: the
+// baseline exhaustive breadth-first search (paper Figure 5), the
+// consequence-prediction algorithm (paper Figure 8), a random-walk mode (the
+// MaceMC comparison baseline), replay of previously discovered error paths,
+// and the event-filter safety check used by execution steering.
+//
+// The checker executes real service handler code on cloned states, exactly
+// as MaceMC executed real Mace/C++ handlers; the global state is the (L, I)
+// pair of the paper's Figure 4 — local node states plus in-flight messages —
+// extended with the small amount of transport bookkeeping (stale TCP pairs,
+// droppable RST notifications) needed to model the failure scenarios the
+// paper's bugs depend on.
+package mc
+
+import (
+	"sort"
+
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+// NodeState is one node's local state inside the checker: the service state
+// machine plus the pending-timer set. NodeState values are immutable once
+// placed in a GState; successor states clone before mutating. Because of
+// that immutability, the canonical encoding is computed once and shared by
+// every global state the node state appears in.
+type NodeState struct {
+	Svc    sm.Service
+	Timers map[sm.TimerID]bool
+	enc    []byte // lazy canonical encoding of (Svc, Timers)
+}
+
+func (ns *NodeState) clone() *NodeState {
+	timers := make(map[sm.TimerID]bool, len(ns.Timers))
+	for t, ok := range ns.Timers {
+		if ok {
+			timers[t] = true
+		}
+	}
+	return &NodeState{Svc: ns.Svc.Clone(), Timers: timers}
+}
+
+// encoding returns the canonical encoding, computing and caching it on
+// first use. Callers must not invoke it until the state is final (all
+// handler mutations applied), which the search guarantees: hashing happens
+// only after successor construction completes.
+func (ns *NodeState) encoding() []byte {
+	if ns.enc == nil {
+		e := sm.NewEncoder()
+		ns.Svc.EncodeState(e)
+		encodeTimers(e, ns.Timers)
+		out := make([]byte, e.Len())
+		copy(out, e.Bytes())
+		ns.enc = out
+	}
+	return ns.enc
+}
+
+// localHash hashes the node-local state (service state + timers); the
+// consequence-prediction pruning keys its localExplored set on this.
+func (ns *NodeState) localHash(id sm.NodeID) uint64 {
+	e := sm.NewEncoder()
+	e.NodeID(id)
+	e.Bytes2(ns.encoding())
+	return e.Hash()
+}
+
+func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
+	names := make([]string, 0, len(timers))
+	for t, ok := range timers {
+		if ok {
+			names = append(names, string(t))
+		}
+	}
+	sort.Strings(names)
+	e.Uint32(uint32(len(names)))
+	for _, t := range names {
+		e.String(t)
+	}
+}
+
+// InFlight is one in-flight network item: a service message, or (when Msg
+// is nil) an RST notification telling To that its connection to From broke.
+type InFlight struct {
+	From sm.NodeID
+	To   sm.NodeID
+	Msg  sm.Message // nil => RST notification
+	enc  string     // lazy canonical encoding (messages are immutable)
+}
+
+// RST reports whether the item is a connection-break notification.
+func (f InFlight) RST() bool { return f.Msg == nil }
+
+func (f InFlight) encode(e *sm.Encoder) {
+	e.NodeID(f.From)
+	e.NodeID(f.To)
+	if f.Msg == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.String(f.Msg.MsgType())
+		f.Msg.EncodeMsg(e)
+	}
+}
+
+type pair struct{ a, b sm.NodeID }
+
+// GState is a global system state: the paper's (L, I) plus transport
+// bookkeeping. GStates are persistent: successors share unmodified node
+// states and copy only what an event changes.
+type GState struct {
+	nodes  map[sm.NodeID]*NodeState
+	msgs   []InFlight
+	stale  map[pair]bool // (sender, peer): sender holds a stale socket to peer
+	resets int           // reset events taken on this path (bounds fault depth)
+	hash   uint64        // memoized Hash (0 = not yet computed)
+}
+
+// NewGState builds a global state from per-node services and timer sets.
+// The services are used as-is (not cloned); callers that keep using their
+// copies must clone first.
+func NewGState() *GState {
+	return &GState{
+		nodes: make(map[sm.NodeID]*NodeState),
+		stale: make(map[pair]bool),
+	}
+}
+
+// AddNode inserts a node's local state.
+func (g *GState) AddNode(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]bool) {
+	tm := make(map[sm.TimerID]bool, len(timers))
+	for t, ok := range timers {
+		if ok {
+			tm[t] = true
+		}
+	}
+	g.nodes[id] = &NodeState{Svc: svc, Timers: tm}
+}
+
+// AddMessage inserts an in-flight service message.
+func (g *GState) AddMessage(from, to sm.NodeID, msg sm.Message) {
+	g.msgs = append(g.msgs, InFlight{From: from, To: to, Msg: msg})
+}
+
+// Nodes returns the node ids present, ascending.
+func (g *GState) Nodes() []sm.NodeID {
+	ids := make([]sm.NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Node returns the local state of id, or nil if absent from the snapshot.
+func (g *GState) Node(id sm.NodeID) *NodeState { return g.nodes[id] }
+
+// InFlightCount reports the number of in-flight items.
+func (g *GState) InFlightCount() int { return len(g.msgs) }
+
+// View renders the state for property evaluation.
+func (g *GState) View() *props.View {
+	v := props.NewView()
+	for id, ns := range g.nodes {
+		v.Add(id, ns.Svc, ns.Timers)
+	}
+	return v
+}
+
+// Hash returns the FNV-64a hash of the full global state. In-flight
+// messages hash as a multiset (the paper's model treats I as a set, with no
+// FIFO ordering), so states differing only in bookkeeping order collide as
+// they should.
+func (g *GState) Hash() uint64 {
+	if g.hash != 0 {
+		return g.hash
+	}
+	e := sm.NewEncoder()
+	for _, id := range g.Nodes() {
+		e.NodeID(id)
+		e.Bytes2(g.nodes[id].encoding())
+	}
+	// Encode each in-flight item separately and sort the encodings for
+	// multiset semantics; encodings are cached since messages never
+	// mutate.
+	blobs := make([]string, len(g.msgs))
+	for i := range g.msgs {
+		if g.msgs[i].enc == "" {
+			me := sm.NewEncoder()
+			g.msgs[i].encode(me)
+			g.msgs[i].enc = string(me.Bytes())
+		}
+		blobs[i] = g.msgs[i].enc
+	}
+	sort.Strings(blobs)
+	e.Uint32(uint32(len(blobs)))
+	for _, b := range blobs {
+		e.String(b)
+	}
+	// Stale pairs, sorted.
+	stale := make([]pair, 0, len(g.stale))
+	for p, ok := range g.stale {
+		if ok {
+			stale = append(stale, p)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].a != stale[j].a {
+			return stale[i].a < stale[j].a
+		}
+		return stale[i].b < stale[j].b
+	})
+	e.Uint32(uint32(len(stale)))
+	for _, p := range stale {
+		e.NodeID(p.a)
+		e.NodeID(p.b)
+	}
+	h := e.Hash()
+	if h == 0 {
+		h = 1 // reserve 0 as the "not computed" sentinel
+	}
+	g.hash = h
+	return h
+}
+
+// EncodedSize approximates the state's in-memory footprint for the memory
+// experiments (paper Figures 15 and 16).
+func (g *GState) EncodedSize() int {
+	n := 0
+	for _, ns := range g.nodes {
+		n += 4 + len(ns.encoding())
+	}
+	for _, m := range g.msgs {
+		n += 13
+		if m.Msg != nil {
+			n += m.Msg.Size()
+		}
+	}
+	return n + 16*len(g.stale)
+}
+
+// shallowClone copies the state's containers but shares all node states and
+// messages; callers then replace what the event changes.
+func (g *GState) shallowClone() *GState {
+	nodes := make(map[sm.NodeID]*NodeState, len(g.nodes))
+	for id, ns := range g.nodes {
+		nodes[id] = ns
+	}
+	msgs := make([]InFlight, len(g.msgs))
+	copy(msgs, g.msgs)
+	stale := make(map[pair]bool, len(g.stale))
+	for p, ok := range g.stale {
+		if ok {
+			stale[p] = true
+		}
+	}
+	return &GState{nodes: nodes, msgs: msgs, stale: stale, resets: g.resets}
+}
+
+// MarkStale records that `from` holds a stale socket to `peer` (peer reset
+// while from was connected); exported for tests and snapshot integration.
+func (g *GState) MarkStale(from, peer sm.NodeID) { g.stale[pair{from, peer}] = true }
+
+// Stale reports whether from's socket to peer is stale.
+func (g *GState) Stale(from, peer sm.NodeID) bool { return g.stale[pair{from, peer}] }

@@ -1,0 +1,306 @@
+package mc
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"crystalball/internal/sm"
+)
+
+// mcContext implements sm.Context for handler execution inside the checker.
+// Sends and timer changes are captured and folded into the successor state.
+type mcContext struct {
+	self  sm.NodeID
+	ns    *NodeState // the cloned node state being mutated
+	sends []InFlight
+	rng   *rand.Rand
+}
+
+func (c *mcContext) Self() sm.NodeID { return c.self }
+
+func (c *mcContext) Send(to sm.NodeID, msg sm.Message) {
+	c.sends = append(c.sends, InFlight{From: c.self, To: to, Msg: msg})
+}
+
+func (c *mcContext) SetTimer(t sm.TimerID, d sm.Duration) { c.ns.Timers[t] = true }
+
+func (c *mcContext) CancelTimer(t sm.TimerID) { delete(c.ns.Timers, t) }
+
+func (c *mcContext) TimerPending(t sm.TimerID) bool { return c.ns.Timers[t] }
+
+func (c *mcContext) Rand() *rand.Rand { return c.rng }
+
+// edgeRNG derives a deterministic random stream for executing event ev from
+// state g, so exploration (and replay) is reproducible: the paper notes "we
+// deterministically replay pseudo-random number generation".
+func edgeRNG(seed int64, g *GState, ev sm.Event) *rand.Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	hash := g.Hash()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(hash >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(ev.Describe()))
+	return sm.NewRand(seed ^ int64(h.Sum64()))
+}
+
+// apply executes event ev on state g and returns the successor state, or
+// nil when the event is not applicable (e.g. delivering a message that is
+// not in flight). g itself is never mutated.
+func (s *Search) apply(g *GState, ev sm.Event) *GState {
+	switch e := ev.(type) {
+	case sm.MsgEvent:
+		return s.applyMessage(g, e)
+	case sm.TimerEvent:
+		return s.applyTimer(g, e)
+	case sm.AppEvent:
+		return s.applyApp(g, e)
+	case sm.ResetEvent:
+		return s.applyReset(g, e)
+	case sm.ErrorEvent:
+		return s.applyError(g, e)
+	case sm.DropEvent:
+		return s.applyDrop(g, e)
+	default:
+		return nil
+	}
+}
+
+// findMsg locates the first in-flight item matching the event.
+func findMsg(g *GState, from, to sm.NodeID, msgType string, rst bool) int {
+	for i, m := range g.msgs {
+		if m.From != from || m.To != to {
+			continue
+		}
+		if rst {
+			if m.RST() {
+				return i
+			}
+			continue
+		}
+		if !m.RST() && m.Msg.MsgType() == msgType {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeMsg(msgs []InFlight, i int) []InFlight {
+	out := make([]InFlight, 0, len(msgs)-1)
+	out = append(out, msgs[:i]...)
+	return append(out, msgs[i+1:]...)
+}
+
+// dispatchSends folds a handler's captured sends into the successor:
+// messages to nodes outside the snapshot go to the dummy node (dropped,
+// counted), and messages over a stale socket become an error notification
+// back to the sender, mirroring the live transport.
+func (s *Search) dispatchSends(next *GState, ctx *mcContext) {
+	for _, sd := range ctx.sends {
+		if _, known := next.nodes[sd.To]; !known {
+			s.DummyRedirects++
+			continue
+		}
+		if next.stale[pair{sd.From, sd.To}] {
+			// Stale socket discovered: message lost, sender will
+			// observe a transport error; the pair is fresh again
+			// afterwards (next send reconnects).
+			delete(next.stale, pair{sd.From, sd.To})
+			next.msgs = append(next.msgs, InFlight{From: sd.To, To: sd.From, Msg: nil})
+			continue
+		}
+		next.msgs = append(next.msgs, sd)
+	}
+}
+
+func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, run func(ctx *mcContext)) *GState {
+	ns := g.nodes[node]
+	if ns == nil {
+		return nil
+	}
+	next := g.shallowClone()
+	cloned := ns.clone()
+	next.nodes[node] = cloned
+	ctx := &mcContext{self: node, ns: cloned, rng: edgeRNG(s.cfg.Seed, g, ev)}
+	run(ctx)
+	s.dispatchSends(next, ctx)
+	return next
+}
+
+func (s *Search) applyMessage(g *GState, e sm.MsgEvent) *GState {
+	i := findMsg(g, e.From, e.To, e.Msg.MsgType(), false)
+	if i < 0 {
+		return nil
+	}
+	msg := g.msgs[i].Msg
+	next := s.runHandler(g, e.To, e, func(ctx *mcContext) {
+		ctx.ns.Svc.HandleMessage(ctx, e.From, msg)
+	})
+	if next == nil {
+		return nil
+	}
+	// Remove the consumed message (runHandler copied the slice).
+	next.msgs = removeMsg(next.msgs, i)
+	return next
+}
+
+func (s *Search) applyTimer(g *GState, e sm.TimerEvent) *GState {
+	ns := g.nodes[e.At]
+	if ns == nil || !ns.Timers[e.Timer] {
+		return nil
+	}
+	return s.runHandler(g, e.At, e, func(ctx *mcContext) {
+		// One-shot semantics: the timer is consumed before the
+		// handler runs; periodic services re-arm inside the handler.
+		delete(ctx.ns.Timers, e.Timer)
+		ctx.ns.Svc.HandleTimer(ctx, e.Timer)
+	})
+}
+
+func (s *Search) applyApp(g *GState, e sm.AppEvent) *GState {
+	return s.runHandler(g, e.At, e, func(ctx *mcContext) {
+		ctx.ns.Svc.HandleApp(ctx, e.Call)
+	})
+}
+
+func (s *Search) applyError(g *GState, e sm.ErrorEvent) *GState {
+	i := findMsg(g, e.Peer, e.At, "", true)
+	if i < 0 && !s.cfg.ExploreConnBreaks {
+		return nil
+	}
+	next := s.runHandler(g, e.At, e, func(ctx *mcContext) {
+		ctx.ns.Svc.HandleTransportError(ctx, e.Peer)
+	})
+	if next == nil {
+		return nil
+	}
+	if i >= 0 {
+		next.msgs = removeMsg(next.msgs, i)
+	}
+	return next
+}
+
+func (s *Search) applyDrop(g *GState, e sm.DropEvent) *GState {
+	i := findMsg(g, e.From, e.To, "", true)
+	if i < 0 {
+		return nil
+	}
+	next := g.shallowClone()
+	next.msgs = removeMsg(next.msgs, i)
+	return next
+}
+
+// applyReset models a node crash+restart (paper: "consequence prediction
+// considers, among others, the Reset action on node n13"):
+//
+//   - all in-flight items to and from the node are lost (TCP buffers die);
+//   - every snapshot peer that lists the node as a neighbor now holds a
+//     stale socket to it, to be discovered on its next send;
+//   - an RST notification races toward each such peer; a separate Drop
+//     transition models the RST being lost (Figure 9's lost RST);
+//   - the node restarts from its initial state (Init runs, possibly
+//     scheduling timers and sends).
+func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
+	ns := g.nodes[e.At]
+	if ns == nil {
+		return nil
+	}
+	next := g.shallowClone()
+	next.resets++
+	// Drop in-flight traffic touching the node.
+	kept := next.msgs[:0]
+	for _, m := range next.msgs {
+		if m.From != e.At && m.To != e.At {
+			kept = append(kept, m)
+		}
+	}
+	next.msgs = kept
+	// Peers that knew the node hold stale sockets and receive racing RSTs.
+	for id, peer := range next.nodes {
+		if id == e.At {
+			continue
+		}
+		for _, nb := range peer.Svc.Neighbors() {
+			if nb == e.At {
+				next.stale[pair{id, e.At}] = true
+				next.msgs = append(next.msgs, InFlight{From: e.At, To: id, Msg: nil})
+				break
+			}
+		}
+	}
+	// The reset node has no stale knowledge of anyone.
+	for p := range next.stale {
+		if p.a == e.At {
+			delete(next.stale, p)
+		}
+	}
+	// Fresh service, re-initialised; disk contents survive the crash.
+	var stable []byte
+	if ss, ok := ns.Svc.(sm.StableStore); ok {
+		stable = ss.StableBytes()
+	}
+	fresh := &NodeState{Svc: s.cfg.Factory(e.At), Timers: make(map[sm.TimerID]bool)}
+	if ss, ok := fresh.Svc.(sm.StableStore); ok && stable != nil {
+		ss.RestoreStable(stable)
+	}
+	next.nodes[e.At] = fresh
+	ctx := &mcContext{self: e.At, ns: fresh, rng: edgeRNG(s.cfg.Seed, g, e)}
+	fresh.Svc.Init(ctx)
+	s.dispatchSends(next, ctx)
+	return next
+}
+
+// enabledEvents enumerates the transitions available from g, split into
+// message-handler events (the paper's H_M: deliveries, error notifications,
+// RST drops) and internal-action events per node (H_A: timers, application
+// calls, resets). Consequence prediction prunes only the latter.
+func (s *Search) enabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
+	seenMsg := make(map[string]bool)
+	for _, m := range g.msgs {
+		if m.RST() {
+			key := "rst:" + m.From.String() + ">" + m.To.String()
+			if seenMsg[key] {
+				continue // identical RSTs collapse
+			}
+			seenMsg[key] = true
+			network = append(network, sm.ErrorEvent{At: m.To, Peer: m.From})
+			network = append(network, sm.DropEvent{From: m.From, To: m.To})
+			continue
+		}
+		key := m.From.String() + ">" + m.To.String() + ":" + m.Msg.MsgType()
+		// Deliver only the first in-flight instance of identical
+		// (from,to,type) triples; FIFO-per-pair keeps the state count
+		// down and matches live TCP ordering.
+		if seenMsg[key] {
+			continue
+		}
+		seenMsg[key] = true
+		network = append(network, sm.MsgEvent{From: m.From, To: m.To, Msg: m.Msg})
+	}
+	internal = make(map[sm.NodeID][]sm.Event)
+	for _, id := range g.Nodes() {
+		ns := g.nodes[id]
+		var evs []sm.Event
+		for t := range ns.Timers {
+			evs = append(evs, sm.TimerEvent{At: id, Timer: t})
+		}
+		if ma, ok := ns.Svc.(sm.ModelActions); ok {
+			for _, call := range ma.ModelAppCalls() {
+				evs = append(evs, sm.AppEvent{At: id, Call: call})
+			}
+		}
+		if s.cfg.ExploreResets && g.resets < s.cfg.MaxResetsPerPath {
+			evs = append(evs, sm.ResetEvent{At: id})
+		}
+		if s.cfg.ExploreConnBreaks {
+			for _, nb := range ns.Svc.Neighbors() {
+				if _, known := g.nodes[nb]; known {
+					evs = append(evs, sm.ErrorEvent{At: id, Peer: nb})
+				}
+			}
+		}
+		internal[id] = evs
+	}
+	return network, internal
+}

@@ -1,0 +1,105 @@
+// Package props defines safety properties checked over a (partial) global
+// view of a distributed system.
+//
+// Properties play three roles in CrystalBall, mirroring the paper: the model
+// checker evaluates them on every explored state (consequence prediction),
+// the immediate safety check evaluates them on the speculative post-handler
+// state, and experiment harnesses evaluate them on the live global state to
+// count "ground truth" inconsistencies.
+package props
+
+import (
+	"sort"
+
+	"crystalball/internal/sm"
+)
+
+// NodeView is one node's state as visible to a property: the service state
+// machine plus the runtime-owned pending-timer set (the paper's local state
+// includes "the status of timers").
+type NodeView struct {
+	Svc    sm.Service
+	Timers map[sm.TimerID]bool
+}
+
+// TimerPending reports whether the named timer is scheduled.
+func (v NodeView) TimerPending(t sm.TimerID) bool { return v.Timers[t] }
+
+// View is a consistent (possibly partial) snapshot of the system: the
+// neighborhood snapshot fed to the model checker, or the full system in
+// experiment harnesses.
+type View struct {
+	Nodes map[sm.NodeID]*NodeView
+}
+
+// NewView returns an empty view.
+func NewView() *View { return &View{Nodes: make(map[sm.NodeID]*NodeView)} }
+
+// Add inserts a node's view.
+func (v *View) Add(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]bool) {
+	if timers == nil {
+		timers = map[sm.TimerID]bool{}
+	}
+	v.Nodes[id] = &NodeView{Svc: svc, Timers: timers}
+}
+
+// Has reports whether the view contains node id.
+func (v *View) Has(id sm.NodeID) bool { _, ok := v.Nodes[id]; return ok }
+
+// Get returns the node view or nil.
+func (v *View) Get(id sm.NodeID) *NodeView { return v.Nodes[id] }
+
+// IDs returns the node ids in the view in ascending order, for
+// deterministic property evaluation and reporting.
+func (v *View) IDs() []sm.NodeID {
+	ids := make([]sm.NodeID, 0, len(v.Nodes))
+	for id := range v.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Property is a user- or developer-specified safety property (paper Figure
+// 7: "Safety Properties" feed the consequence-prediction checker).
+type Property struct {
+	// Name identifies the property in reports ("ChildrenSiblingsDisjoint").
+	Name string
+	// Check returns true when the view satisfies the property. A view
+	// that lacks the nodes needed to evaluate the property must return
+	// true (no false positives from partial information).
+	Check func(v *View) bool
+}
+
+// Set is an ordered collection of properties.
+type Set []Property
+
+// Check evaluates all properties and returns the names of those violated.
+func (s Set) Check(v *View) []string {
+	var violated []string
+	for _, p := range s {
+		if !p.Check(v) {
+			violated = append(violated, p.Name)
+		}
+	}
+	return violated
+}
+
+// Holds reports whether every property holds on the view.
+func (s Set) Holds(v *View) bool {
+	for _, p := range s {
+		if !p.Check(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Names lists the property names.
+func (s Set) Names() []string {
+	names := make([]string, len(s))
+	for i, p := range s {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,113 @@
+package props
+
+import (
+	"reflect"
+	"testing"
+
+	"crystalball/internal/sm"
+)
+
+// fakeSvc is a minimal sm.Service for view tests.
+type fakeSvc struct {
+	self sm.NodeID
+	val  int
+}
+
+func (f *fakeSvc) Init(sm.Context)                                 {}
+func (f *fakeSvc) HandleMessage(sm.Context, sm.NodeID, sm.Message) {}
+func (f *fakeSvc) HandleTimer(sm.Context, sm.TimerID)              {}
+func (f *fakeSvc) HandleApp(sm.Context, sm.AppCall)                {}
+func (f *fakeSvc) HandleTransportError(sm.Context, sm.NodeID)      {}
+func (f *fakeSvc) Neighbors() []sm.NodeID                          { return nil }
+func (f *fakeSvc) Clone() sm.Service                               { return &fakeSvc{self: f.self, val: f.val} }
+func (f *fakeSvc) EncodeState(e *sm.Encoder)                       { e.NodeID(f.self); e.Int(f.val) }
+func (f *fakeSvc) DecodeState(d *sm.Decoder) error {
+	f.self = d.NodeID()
+	f.val = d.Int()
+	return d.Err()
+}
+func (f *fakeSvc) ServiceName() string { return "fake" }
+
+func TestViewBasics(t *testing.T) {
+	v := NewView()
+	if v.Has(1) {
+		t.Fatal("empty view has node")
+	}
+	v.Add(2, &fakeSvc{self: 2}, map[sm.TimerID]bool{"t": true})
+	v.Add(1, &fakeSvc{self: 1}, nil)
+	if !v.Has(1) || !v.Has(2) {
+		t.Fatal("nodes missing")
+	}
+	if got := v.IDs(); !reflect.DeepEqual(got, []sm.NodeID{1, 2}) {
+		t.Fatalf("IDs = %v, want sorted [1 2]", got)
+	}
+	if !v.Get(2).TimerPending("t") {
+		t.Fatal("timer lost")
+	}
+	if v.Get(1).TimerPending("t") {
+		t.Fatal("nil timer map should report no pending timers")
+	}
+	if v.Get(9) != nil {
+		t.Fatal("missing node should be nil")
+	}
+}
+
+func TestSetCheckAndHolds(t *testing.T) {
+	sum := func(v *View) int {
+		total := 0
+		for _, id := range v.IDs() {
+			total += v.Get(id).Svc.(*fakeSvc).val
+		}
+		return total
+	}
+	set := Set{
+		{Name: "SumBelow10", Check: func(v *View) bool { return sum(v) < 10 }},
+		{Name: "SumBelow5", Check: func(v *View) bool { return sum(v) < 5 }},
+	}
+	v := NewView()
+	v.Add(1, &fakeSvc{self: 1, val: 3}, nil)
+	v.Add(2, &fakeSvc{self: 2, val: 4}, nil)
+	violated := set.Check(v)
+	if !reflect.DeepEqual(violated, []string{"SumBelow5"}) {
+		t.Fatalf("violated = %v", violated)
+	}
+	if set.Holds(v) {
+		t.Fatal("Holds should be false")
+	}
+	v2 := NewView()
+	v2.Add(1, &fakeSvc{self: 1, val: 1}, nil)
+	if got := set.Check(v2); got != nil {
+		t.Fatalf("violated = %v, want none", got)
+	}
+	if !set.Holds(v2) {
+		t.Fatal("Holds should be true")
+	}
+	if got := set.Names(); !reflect.DeepEqual(got, []string{"SumBelow10", "SumBelow5"}) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestPartialViewConvention(t *testing.T) {
+	// Properties must treat missing nodes as "cannot evaluate" and
+	// return true; verify the convention works end to end with a
+	// property written that way.
+	p := Property{
+		Name: "PairAgree",
+		Check: func(v *View) bool {
+			a, b := v.Get(1), v.Get(2)
+			if a == nil || b == nil {
+				return true // partial information: no false positive
+			}
+			return a.Svc.(*fakeSvc).val == b.Svc.(*fakeSvc).val
+		},
+	}
+	v := NewView()
+	v.Add(1, &fakeSvc{self: 1, val: 7}, nil)
+	if !p.Check(v) {
+		t.Fatal("partial view should not violate")
+	}
+	v.Add(2, &fakeSvc{self: 2, val: 8}, nil)
+	if p.Check(v) {
+		t.Fatal("full view should violate")
+	}
+}

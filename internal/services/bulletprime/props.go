@@ -1,0 +1,82 @@
+package bulletprime
+
+import (
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+func bulletOf(v *props.View, id sm.NodeID) *Bullet {
+	nv := v.Get(id)
+	if nv == nil {
+		return nil
+	}
+	b, _ := nv.Svc.(*Bullet)
+	return b
+}
+
+// PropFileMapConsistency is the paper's Bullet′ property: "Sender's file
+// map and receivers view of it should be identical." The sound, sender-side
+// formulation: every block a sender holds must be either already advertised
+// to each of its receivers or still pending in that receiver's shadow map —
+// otherwise the receiver can never learn about the block. Bug 1 (shadow
+// cleared on a refused enqueue) and bug 2 (empty shadow on peering) violate
+// it.
+var PropFileMapConsistency = props.Property{
+	Name: "SenderReceiverFileMapsAgree",
+	Check: func(v *props.View) bool {
+		for _, sid := range v.IDs() {
+			s := bulletOf(v, sid)
+			if s == nil {
+				continue
+			}
+			for _, rid := range s.peers() {
+				shadow := s.Shadow[rid]
+				adv := s.Advertised[rid]
+				for blk := range s.Have {
+					if !shadow[blk] && !adv[blk] {
+						return false // never advertised, never will be
+					}
+				}
+			}
+		}
+		return true
+	},
+}
+
+// PropNoPhantomBlocks is the receiver-side complement: a receiver must not
+// believe a sender holds blocks the sender does not have. A sender reset
+// combined with bug 3 (stale per-sender file maps surviving transport
+// errors) leaves such phantom blocks, which skew the rarest-random request
+// policy. The inconsistency is transiently reachable even in fixed code
+// (between a reset and the receiver's error observation), so it belongs to
+// the debugging property set rather than the steering set.
+var PropNoPhantomBlocks = props.Property{
+	Name: "NoPhantomBlocks",
+	Check: func(v *props.View) bool {
+		for _, rid := range v.IDs() {
+			r := bulletOf(v, rid)
+			if r == nil {
+				continue
+			}
+			for sid, fm := range r.FileMaps {
+				s := bulletOf(v, sid)
+				if s == nil {
+					continue
+				}
+				for blk := range fm {
+					if !s.Have[blk] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	},
+}
+
+// Properties is the default Bullet′ property set (sound for steering).
+var Properties = props.Set{PropFileMapConsistency}
+
+// DebugProperties adds the receiver-side check used in deep online
+// debugging runs.
+var DebugProperties = props.Set{PropFileMapConsistency, PropNoPhantomBlocks}

@@ -1,0 +1,95 @@
+package chord
+
+import (
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+func ringOf(v *props.View, id sm.NodeID) *Ring {
+	nv := v.Get(id)
+	if nv == nil {
+		return nil
+	}
+	r, _ := nv.Svc.(*Ring)
+	return r
+}
+
+// PropPredSelfImpliesSuccSelf is the paper's property "If Successor is
+// Self, So Is Predecessor" (stated in its contrapositive-friendly form): a
+// node whose predecessor points to itself must be alone, so its successor
+// list must not name other nodes (Figure 10's violation).
+var PropPredSelfImpliesSuccSelf = props.Property{
+	Name: "PredSelfImpliesSuccSelf",
+	Check: func(v *props.View) bool {
+		for _, id := range v.IDs() {
+			r := ringOf(v, id)
+			if r == nil || !r.Joined {
+				continue
+			}
+			if r.Pred != r.Self {
+				continue
+			}
+			for _, s := range r.Succs {
+				if s != r.Self {
+					return false
+				}
+			}
+		}
+		return true
+	},
+}
+
+// PropNodeOrdering is the paper's "Node Ordering Constraint": if node A has
+// predecessor P and successor S, the id of S must not lie between P and A
+// on the ring (Figure 11's violation).
+var PropNodeOrdering = props.Property{
+	Name: "NodeOrderingConstraint",
+	Check: func(v *props.View) bool {
+		for _, id := range v.IDs() {
+			r := ringOf(v, id)
+			if r == nil || !r.Joined || r.Pred == sm.NoNode || r.Pred == r.Self {
+				continue
+			}
+			for _, s := range r.Succs {
+				if s == r.Self || s == r.Pred {
+					continue
+				}
+				if Between(s, r.Pred, r.Self) {
+					return false
+				}
+			}
+		}
+		return true
+	},
+}
+
+// PropNoForeignSelfLoop (auxiliary): a node must not appear in its own
+// successor list ahead of other live members — a self-loop alongside other
+// nodes disconnects the ring (the class of damage the paper attributes to
+// an incorrect successor).
+var PropNoForeignSelfLoop = props.Property{
+	Name: "NoForeignSelfLoop",
+	Check: func(v *props.View) bool {
+		for _, id := range v.IDs() {
+			r := ringOf(v, id)
+			if r == nil || !r.Joined || len(r.Succs) < 2 {
+				continue
+			}
+			if r.Succs[0] == r.Self {
+				for _, s := range r.Succs[1:] {
+					if s != r.Self {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	},
+}
+
+// Properties is the default Chord safety-property set.
+var Properties = props.Set{
+	PropPredSelfImpliesSuccSelf,
+	PropNodeOrdering,
+	PropNoForeignSelfLoop,
+}

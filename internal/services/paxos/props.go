@@ -1,0 +1,37 @@
+package paxos
+
+import (
+	"crystalball/internal/props"
+)
+
+// PropAtMostOneChosen is the original Paxos safety property installed in
+// the paper's steering experiment: "at most one value can be chosen, across
+// all nodes".
+var PropAtMostOneChosen = props.Property{
+	Name: "AtMostOneValueChosen",
+	Check: func(v *props.View) bool {
+		var chosen []int64
+		for _, id := range v.IDs() {
+			p, _ := v.Get(id).Svc.(*Paxos)
+			if p == nil {
+				continue
+			}
+			for _, val := range p.ChosenVals {
+				found := false
+				for _, c := range chosen {
+					if c == val {
+						found = true
+						break
+					}
+				}
+				if !found {
+					chosen = append(chosen, val)
+				}
+			}
+		}
+		return len(chosen) <= 1
+	},
+}
+
+// Properties is the default Paxos property set.
+var Properties = props.Set{PropAtMostOneChosen}

@@ -1,0 +1,470 @@
+// Package simnet is an in-memory network substrate with TCP-like and
+// UDP-like semantics, driven by the discrete-event simulator.
+//
+// It reproduces the transport behaviours the CrystalBall paper's bug
+// scenarios depend on:
+//
+//   - reliable FIFO delivery per connection (TCP-like), with transmission
+//     delay from path latency, bottleneck bandwidth and loss-induced
+//     retransmissions;
+//   - node resets that break connections, where the RST notification to each
+//     peer can itself be lost (Figure 9: "its TCP RST packet to its parent
+//     (69) is lost") or suppressed entirely (a silent reset, Figure 2);
+//   - stale-connection discovery on the next send attempt (Figure 3: "the
+//     stale information about n13 in n9 is removed once n9 ... attempts to
+//     communicate with n13");
+//   - partitions that sever pairs of nodes (the Paxos scenario, Figure 13);
+//   - per-kind bandwidth accounting so checkpoint traffic can be reported
+//     separately from service traffic (paper section 5.5).
+package simnet
+
+import (
+	"time"
+
+	"crystalball/internal/sim"
+	"crystalball/internal/sm"
+)
+
+// Handler receives network events for one node. The runtime implements it.
+type Handler interface {
+	// HandleDeliver is invoked when a message arrives.
+	HandleDeliver(from sm.NodeID, payload any)
+	// HandleConnError is invoked when the TCP-like connection to peer is
+	// discovered broken (RST received, peer dead, or stale on send).
+	HandleConnError(peer sm.NodeID)
+}
+
+// PathModel supplies end-to-end path characteristics between two nodes.
+type PathModel interface {
+	// Path returns one-way latency, loss probability and bottleneck
+	// bandwidth in bits/s between a and b.
+	Path(a, b sm.NodeID) (latency time.Duration, loss float64, bwBps float64)
+}
+
+// UniformPath is a PathModel with identical characteristics for all pairs.
+type UniformPath struct {
+	Latency time.Duration
+	Jitter  time.Duration // uniform extra delay in [0, Jitter)
+	Loss    float64
+	BwBps   float64
+}
+
+// Path implements PathModel.
+func (u UniformPath) Path(a, b sm.NodeID) (time.Duration, float64, float64) {
+	bw := u.BwBps
+	if bw <= 0 {
+		bw = 1e9
+	}
+	return u.Latency, u.Loss, bw
+}
+
+// Kind labels traffic classes for bandwidth accounting.
+type Kind string
+
+// Traffic classes used across the repository.
+const (
+	KindService    Kind = "service"    // service protocol messages
+	KindCheckpoint Kind = "checkpoint" // snapshot/checkpoint traffic
+	KindControl    Kind = "control"    // misc control traffic
+)
+
+// connKey orders the pair so both directions share one connection object.
+type connKey struct{ a, b sm.NodeID }
+
+func keyFor(x, y sm.NodeID) connKey {
+	if x < y {
+		return connKey{x, y}
+	}
+	return connKey{y, x}
+}
+
+// conn is a TCP-like bidirectional connection. Each endpoint records the
+// incarnation of each endpoint at establishment; a mismatch at send or
+// delivery time means an endpoint has reset and the connection is stale.
+// When a connection dies, each endpoint may or may not be aware of it: an
+// unaware endpoint holds a stale socket and discovers the break (with a
+// ConnError) on its next send, which is the behaviour the paper's Figure 3
+// steering scenario relies on.
+type conn struct {
+	key         connKey
+	incarnation map[sm.NodeID]uint64 // incarnation of each endpoint when established
+	lastArrival map[sm.NodeID]sim.Time
+	closed      bool
+	aware       map[sm.NodeID]bool // endpoint knows the conn is dead
+}
+
+func (c *conn) close(awareOf ...sm.NodeID) {
+	c.closed = true
+	if c.aware == nil {
+		c.aware = make(map[sm.NodeID]bool, 2)
+	}
+	for _, id := range awareOf {
+		c.aware[id] = true
+	}
+}
+
+// nodeState is simnet's per-node bookkeeping.
+type nodeState struct {
+	handler     Handler
+	alive       bool
+	incarnation uint64
+	lastTxEnd   sim.Time
+	bytesOut    map[Kind]int64
+	bytesIn     map[Kind]int64
+	msgsOut     int64
+}
+
+// Network simulates the transport layer among a set of nodes.
+type Network struct {
+	sim      *sim.Simulator
+	paths    PathModel
+	nodes    map[sm.NodeID]*nodeState
+	conns    map[connKey]*conn
+	parts    map[connKey]bool // severed pairs
+	rng      rngSource
+	ErrDelay time.Duration // delay before a ConnError reaches the caller
+	// RTO is the extra delay charged when a TCP segment is "lost" and
+	// retransmitted (loss never drops TCP payloads, it delays them).
+	RTO time.Duration
+}
+
+type rngSource interface {
+	Float64() float64
+	Int63n(int64) int64
+}
+
+// New creates a network on the simulator with the given path model.
+func New(s *sim.Simulator, paths PathModel) *Network {
+	return &Network{
+		sim:      s,
+		paths:    paths,
+		nodes:    make(map[sm.NodeID]*nodeState),
+		conns:    make(map[connKey]*conn),
+		parts:    make(map[connKey]bool),
+		rng:      s.RNG("simnet"),
+		ErrDelay: 2 * time.Millisecond,
+		RTO:      200 * time.Millisecond,
+	}
+}
+
+// Register attaches a handler for node id and marks it alive.
+func (n *Network) Register(id sm.NodeID, h Handler) {
+	st := n.state(id)
+	st.handler = h
+	st.alive = true
+}
+
+func (n *Network) state(id sm.NodeID) *nodeState {
+	st, ok := n.nodes[id]
+	if !ok {
+		st = &nodeState{
+			alive:    false,
+			bytesOut: make(map[Kind]int64),
+			bytesIn:  make(map[Kind]int64),
+		}
+		n.nodes[id] = st
+	}
+	return st
+}
+
+// Alive reports whether the node is up.
+func (n *Network) Alive(id sm.NodeID) bool {
+	st, ok := n.nodes[id]
+	return ok && st.alive
+}
+
+// Incarnation reports the node's current incarnation number (bumped on
+// every reset/restart); exported for tests.
+func (n *Network) Incarnation(id sm.NodeID) uint64 { return n.state(id).incarnation }
+
+// Partition severs (broken=true) or heals (broken=false) the pair a,b.
+// While severed, sends in either direction behave like a broken connection:
+// the sender gets a ConnError and the message is dropped.
+func (n *Network) Partition(a, b sm.NodeID, broken bool) {
+	k := keyFor(a, b)
+	if broken {
+		n.parts[k] = true
+		if c, ok := n.conns[k]; ok {
+			// Neither side is told; each discovers on next send
+			// (the partition check errors every send anyway).
+			c.close()
+			delete(n.conns, k)
+		}
+	} else {
+		delete(n.parts, k)
+	}
+}
+
+// PartitionNode severs (or heals) node id from every other registered node.
+func (n *Network) PartitionNode(id sm.NodeID, broken bool) {
+	for other := range n.nodes {
+		if other != id {
+			n.Partition(id, other, broken)
+		}
+	}
+}
+
+// Partitioned reports whether the pair is currently severed.
+func (n *Network) Partitioned(a, b sm.NodeID) bool { return n.parts[keyFor(a, b)] }
+
+// Reset simulates a node crash+restart: its incarnation bumps (so all of its
+// connections become stale) and, unless silent, an RST notification is sent
+// toward each connected peer, each independently subject to loss. The caller
+// is responsible for reinitialising the node's service state.
+func (n *Network) Reset(id sm.NodeID, silent bool) {
+	st := n.state(id)
+	st.incarnation++
+	st.alive = true
+	type broken struct {
+		peer sm.NodeID
+		c    *conn
+	}
+	var peers []broken
+	for k, c := range n.conns {
+		if k.a != id && k.b != id {
+			continue
+		}
+		peer := k.a
+		if peer == id {
+			peer = k.b
+		}
+		peers = append(peers, broken{peer, c})
+		// The resetting node is trivially "aware": its fresh
+		// incarnation knows nothing of the old socket and will
+		// reconnect cleanly. The peer holds a stale socket until it
+		// receives the RST or tries to send.
+		c.close(id)
+	}
+	if silent {
+		return
+	}
+	for _, b := range peers {
+		b := b
+		lat, loss, _ := n.paths.Path(id, b.peer)
+		// The RST is a raw segment: it can be lost outright (paper
+		// Figure 9), in which case the peer only discovers the break
+		// on its next send attempt.
+		if n.rng.Float64() < loss {
+			continue
+		}
+		n.sim.After(lat, func() {
+			b.c.aware[b.peer] = true
+			ps := n.state(b.peer)
+			if ps.alive && ps.handler != nil {
+				ps.handler.HandleConnError(id)
+			}
+		})
+	}
+}
+
+// Kill marks a node dead: connections break silently and subsequent sends to
+// it fail with ConnError at the sender.
+func (n *Network) Kill(id sm.NodeID) {
+	st := n.state(id)
+	st.alive = false
+	for k, c := range n.conns {
+		if k.a == id || k.b == id {
+			c.close(id)
+		}
+	}
+}
+
+// Restart brings a killed node back with a fresh incarnation.
+func (n *Network) Restart(id sm.NodeID) {
+	st := n.state(id)
+	st.incarnation++
+	st.alive = true
+}
+
+// LoopbackLatency is the delivery delay for a node's messages to itself:
+// loopback traffic never touches the network stack's wire path.
+const LoopbackLatency = 50 * time.Microsecond
+
+// Send transmits payload of the given size from -> to over the TCP-like
+// transport with traffic class kind. Delivery is reliable and FIFO per
+// connection; broken/stale/partitioned paths produce an asynchronous
+// ConnError at the sender instead.
+func (n *Network) Send(from, to sm.NodeID, payload any, size int, kind Kind) {
+	src := n.state(from)
+	if !src.alive {
+		return // dead nodes do not send
+	}
+	if from == to {
+		// Loopback: near-instant, lossless, unaffected by pacing.
+		inc := src.incarnation
+		n.sim.After(LoopbackLatency, func() {
+			if src.alive && src.incarnation == inc && src.handler != nil {
+				src.bytesIn[kind] += int64(size)
+				src.handler.HandleDeliver(from, payload)
+			}
+		})
+		src.bytesOut[kind] += int64(size)
+		src.msgsOut++
+		return
+	}
+	src.bytesOut[kind] += int64(size)
+	src.msgsOut++
+	if n.parts[keyFor(from, to)] {
+		n.deliverError(from, to)
+		return
+	}
+	dst := n.state(to)
+	if !dst.alive {
+		n.deliverError(from, to)
+		return
+	}
+	k := keyFor(from, to)
+	c, ok := n.conns[k]
+	if ok {
+		// Stale if closed or either endpoint reset since establishment.
+		if c.closed || c.incarnation[from] != src.incarnation || c.incarnation[to] != dst.incarnation {
+			// A sender that is aware the socket died (it reset, it
+			// initiated the close, or it received the RST) simply
+			// reconnects; an unaware sender discovers the break
+			// now and gets an error instead of a delivery.
+			aware := c.aware[from] || c.incarnation[from] != src.incarnation
+			c.close()
+			delete(n.conns, k)
+			if !aware {
+				n.deliverError(from, to)
+				return
+			}
+			ok = false
+		}
+	}
+	if !ok {
+		c = &conn{
+			key:         k,
+			incarnation: map[sm.NodeID]uint64{from: src.incarnation, to: dst.incarnation},
+			lastArrival: map[sm.NodeID]sim.Time{},
+		}
+		n.conns[k] = c
+	}
+	lat, loss, bw := n.paths.Path(from, to)
+	// Outbound link serialization: transmissions queue behind each other.
+	txTime := time.Duration(float64(size*8) / bw * float64(time.Second))
+	start := n.sim.Now()
+	if src.lastTxEnd > start {
+		start = src.lastTxEnd
+	}
+	end := start.Add(txTime)
+	src.lastTxEnd = end
+	delay := end.Sub(n.sim.Now()) + lat
+	// TCP does not drop payloads; loss manifests as retransmission delay.
+	for n.rng.Float64() < loss {
+		delay += n.RTO
+	}
+	arrival := n.sim.Now().Add(delay)
+	if la := c.lastArrival[to]; arrival < la {
+		arrival = la // FIFO per direction
+	}
+	c.lastArrival[to] = arrival
+	destInc := dst.incarnation
+	n.sim.At(arrival, func() {
+		ds := n.state(to)
+		// The connection (and its buffered data) dies if either side
+		// reset or the pair was severed in flight.
+		if !ds.alive || ds.incarnation != destInc || n.conns[k] != c || c.closed {
+			return
+		}
+		if n.parts[k] {
+			return
+		}
+		ds.bytesIn[kind] += int64(size)
+		if ds.handler != nil {
+			ds.handler.HandleDeliver(from, payload)
+		}
+	})
+}
+
+// SendUDP transmits a datagram: no connection, no error signals, dropped
+// with the path loss probability.
+func (n *Network) SendUDP(from, to sm.NodeID, payload any, size int, kind Kind) {
+	src := n.state(from)
+	if !src.alive {
+		return
+	}
+	src.bytesOut[kind] += int64(size)
+	src.msgsOut++
+	if n.parts[keyFor(from, to)] {
+		return
+	}
+	lat, loss, bw := n.paths.Path(from, to)
+	if n.rng.Float64() < loss {
+		return
+	}
+	txTime := time.Duration(float64(size*8) / bw * float64(time.Second))
+	destInc := n.state(to).incarnation
+	n.sim.After(lat+txTime, func() {
+		ds := n.state(to)
+		if !ds.alive || ds.incarnation != destInc {
+			return
+		}
+		ds.bytesIn[kind] += int64(size)
+		if ds.handler != nil {
+			ds.handler.HandleDeliver(from, payload)
+		}
+	})
+}
+
+// deliverError schedules a ConnError(to) at node from.
+func (n *Network) deliverError(from, to sm.NodeID) {
+	inc := n.state(from).incarnation
+	n.sim.After(n.ErrDelay, func() {
+		fs := n.state(from)
+		if fs.alive && fs.incarnation == inc && fs.handler != nil {
+			fs.handler.HandleConnError(to)
+		}
+	})
+}
+
+// BreakConn severs the current connection between a and b (if any) without
+// a partition: both sides will discover on next use; if notify is true, both
+// sides get an immediate ConnError (like an application-initiated RST, which
+// execution steering uses as a corrective action).
+func (n *Network) BreakConn(a, b sm.NodeID, notify bool) {
+	k := keyFor(a, b)
+	c, ok := n.conns[k]
+	if !ok {
+		// No live connection object; still create a tombstone so the
+		// peer's next send can observe the break when notify is off.
+		c = &conn{key: k, incarnation: map[sm.NodeID]uint64{}, lastArrival: map[sm.NodeID]sim.Time{}}
+		n.conns[k] = c
+	}
+	c.close(a) // the initiator knows
+	if notify {
+		lat, _, _ := n.paths.Path(a, b)
+		bs := n.state(b)
+		bInc := bs.incarnation
+		n.sim.After(lat, func() {
+			c.aware[b] = true
+			if bs.alive && bs.incarnation == bInc && bs.handler != nil {
+				bs.handler.HandleConnError(a)
+			}
+		})
+	}
+}
+
+// Connected reports whether a live connection object exists between a and b.
+func (n *Network) Connected(a, b sm.NodeID) bool {
+	c, ok := n.conns[keyFor(a, b)]
+	return ok && !c.closed
+}
+
+// BytesOut reports bytes sent by id for the given kind.
+func (n *Network) BytesOut(id sm.NodeID, kind Kind) int64 { return n.state(id).bytesOut[kind] }
+
+// BytesIn reports bytes received by id for the given kind.
+func (n *Network) BytesIn(id sm.NodeID, kind Kind) int64 { return n.state(id).bytesIn[kind] }
+
+// TotalBytesOut sums sent bytes for a kind across all nodes.
+func (n *Network) TotalBytesOut(kind Kind) int64 {
+	var total int64
+	for _, st := range n.nodes {
+		total += st.bytesOut[kind]
+	}
+	return total
+}
+
+// MessagesOut reports the number of messages node id has sent.
+func (n *Network) MessagesOut(id sm.NodeID) int64 { return n.state(id).msgsOut }

@@ -1,0 +1,62 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"crystalball/internal/sm"
+	"crystalball/internal/topology"
+)
+
+// TopoPath adapts a generated Internet-like topology to simnet's PathModel:
+// node IDs map to attached participants, and path characteristics come from
+// the latency-shortest router path, exactly as ModelNet derived them from
+// the INET topology in the paper's evaluation.
+type TopoPath struct {
+	topo  *topology.Topology
+	index map[sm.NodeID]int
+	cache map[[2]sm.NodeID]topology.Path
+}
+
+// NewTopoPath generates a topology with cfg, attaches one participant per
+// node id, and returns the adapter.
+func NewTopoPath(cfg topology.Config, nodes []sm.NodeID, rng *rand.Rand) *TopoPath {
+	topo := topology.Generate(cfg, rng)
+	topo.AttachClients(len(nodes), rng)
+	index := make(map[sm.NodeID]int, len(nodes))
+	for i, id := range nodes {
+		index[id] = i
+	}
+	return &TopoPath{
+		topo:  topo,
+		index: index,
+		cache: make(map[[2]sm.NodeID]topology.Path),
+	}
+}
+
+// Topology exposes the underlying router graph (for reporting mean RTT
+// etc.).
+func (t *TopoPath) Topology() *topology.Topology { return t.topo }
+
+// Path implements PathModel. Unknown node ids fall back to a conservative
+// wide-area default.
+func (t *TopoPath) Path(a, b sm.NodeID) (time.Duration, float64, float64) {
+	key := [2]sm.NodeID{a, b}
+	if a > b {
+		key = [2]sm.NodeID{b, a}
+	}
+	if p, ok := t.cache[key]; ok {
+		return p.Latency, p.Loss, p.BandwidthBps
+	}
+	ia, okA := t.index[a]
+	ib, okB := t.index[b]
+	if !okA || !okB {
+		return 80 * time.Millisecond, 0.005, 1e6
+	}
+	p, err := t.topo.PathBetween(ia, ib)
+	if err != nil {
+		return 80 * time.Millisecond, 0.005, 1e6
+	}
+	t.cache[key] = p
+	return p.Latency, p.Loss, p.BandwidthBps
+}

@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"crystalball/internal/sim"
+	"crystalball/internal/sm"
+	"crystalball/internal/topology"
+)
+
+func newTopoPath(t *testing.T, nodes int) (*TopoPath, []sm.NodeID) {
+	t.Helper()
+	s := sim.New(5)
+	ids := make([]sm.NodeID, nodes)
+	for i := range ids {
+		ids[i] = sm.NodeID(i + 1)
+	}
+	tp := NewTopoPath(topology.DefaultConfig(200), ids, s.RNG("topo"))
+	return tp, ids
+}
+
+func TestTopoPathCharacteristics(t *testing.T) {
+	tp, ids := newTopoPath(t, 10)
+	for _, a := range ids {
+		for _, b := range ids {
+			lat, loss, bw := tp.Path(a, b)
+			if lat <= 0 {
+				t.Fatalf("latency %v for %v->%v", lat, a, b)
+			}
+			if loss < 0 || loss >= 1 {
+				t.Fatalf("loss %v out of range", loss)
+			}
+			if bw <= 0 {
+				t.Fatalf("bandwidth %v", bw)
+			}
+		}
+	}
+}
+
+func TestTopoPathSymmetricAndCached(t *testing.T) {
+	tp, _ := newTopoPath(t, 8)
+	l1, _, _ := tp.Path(2, 7)
+	l2, _, _ := tp.Path(7, 2)
+	if l1 != l2 {
+		t.Fatalf("asymmetric path: %v vs %v", l1, l2)
+	}
+	// Second lookup must hit the cache and return identical values.
+	l3, _, _ := tp.Path(2, 7)
+	if l3 != l1 {
+		t.Fatal("cache returned different value")
+	}
+}
+
+func TestTopoPathUnknownNodeFallback(t *testing.T) {
+	tp, _ := newTopoPath(t, 4)
+	lat, loss, bw := tp.Path(99, 1)
+	if lat <= 0 || bw <= 0 || loss < 0 {
+		t.Fatal("fallback path invalid")
+	}
+}
+
+func TestTopoPathDrivesNetwork(t *testing.T) {
+	// End-to-end: messages over a topology-backed network arrive with
+	// plausible wide-area latency.
+	s := sim.New(9)
+	ids := []sm.NodeID{1, 2, 3}
+	tp := NewTopoPath(topology.DefaultConfig(100), ids, s.RNG("topo"))
+	net := New(s, tp)
+	r := &recorder{}
+	net.Register(1, &recorder{})
+	net.Register(2, r)
+	net.Register(3, &recorder{})
+	start := s.Now()
+	net.Send(1, 2, "hello", 100, KindService)
+	s.Run()
+	if len(r.delivered) != 1 {
+		t.Fatalf("deliveries = %d", len(r.delivered))
+	}
+	elapsed := s.Now().Sub(start)
+	if elapsed < time.Millisecond || elapsed > time.Second {
+		t.Fatalf("implausible delivery latency %v", elapsed)
+	}
+}

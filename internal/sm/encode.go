@@ -1,0 +1,283 @@
+package sm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Encoder writes values in a stable, deterministic binary form. It backs
+// three mechanisms that all need byte-identical encodings for equal states:
+// state hashing in the model checker, checkpoint contents in the snapshot
+// manager, and duplicate-checkpoint suppression.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded bytes. The slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards all encoded data, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Hash returns the FNV-64a hash of the encoded bytes. The model checker
+// stores only these hashes (the paper notes the checker caches hashes, not
+// states, to bound memory).
+func (e *Encoder) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(e.buf)
+	return h.Sum64()
+}
+
+// Uint64 appends v big-endian.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends v.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Uint32 appends v big-endian.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int appends v as 64 bits.
+func (e *Encoder) Int(v int) { e.Uint64(uint64(int64(v))) }
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends the IEEE-754 bits of v.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// NodeID appends a node identifier.
+func (e *Encoder) NodeID(n NodeID) { e.Uint32(uint32(n)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes2 appends a length-prefixed byte slice.
+func (e *Encoder) Bytes2(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// NodeSet appends a set of node ids in sorted order, so that two equal sets
+// encode identically regardless of map iteration order.
+func (e *Encoder) NodeSet(set map[NodeID]bool) {
+	ids := make([]NodeID, 0, len(set))
+	for n, ok := range set {
+		if ok {
+			ids = append(ids, n)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.Uint32(uint32(len(ids)))
+	for _, n := range ids {
+		e.NodeID(n)
+	}
+}
+
+// NodeSlice appends a slice of node ids in order (order is significant,
+// e.g. Chord successor lists).
+func (e *Encoder) NodeSlice(ids []NodeID) {
+	e.Uint32(uint32(len(ids)))
+	for _, n := range ids {
+		e.NodeID(n)
+	}
+}
+
+// Decoder reads values written by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+var errShort = errors.New("sm: decode past end of buffer")
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = errShort
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads an int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] == 1
+}
+
+// Float64 reads an IEEE-754 float.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// NodeID reads a node identifier.
+func (d *Decoder) NodeID() NodeID { return NodeID(d.Uint32()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || n > d.Remaining() {
+		if d.err == nil {
+			d.err = fmt.Errorf("sm: bad string length %d", n)
+		}
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// Bytes2 reads a length-prefixed byte slice (copied).
+func (d *Decoder) Bytes2() []byte {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || n > d.Remaining() {
+		if d.err == nil {
+			d.err = fmt.Errorf("sm: bad bytes length %d", n)
+		}
+		return nil
+	}
+	b := d.take(n)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// NodeSet reads a set written by Encoder.NodeSet.
+func (d *Decoder) NodeSet() map[NodeID]bool {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || n > d.Remaining()/4 {
+		if d.err == nil {
+			d.err = fmt.Errorf("sm: bad set length %d", n)
+		}
+		return nil
+	}
+	set := make(map[NodeID]bool, n)
+	for i := 0; i < n; i++ {
+		set[d.NodeID()] = true
+	}
+	return set
+}
+
+// NodeSlice reads a slice written by Encoder.NodeSlice.
+func (d *Decoder) NodeSlice() []NodeID {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || n > d.Remaining()/4 {
+		if d.err == nil {
+			d.err = fmt.Errorf("sm: bad slice length %d", n)
+		}
+		return nil
+	}
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = d.NodeID()
+	}
+	return ids
+}
+
+// EncodeService returns the stable encoding of a service's state.
+func EncodeService(s Service) []byte {
+	e := NewEncoder()
+	s.EncodeState(e)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
+
+// HashService returns the FNV-64a hash of a service's encoded state.
+func HashService(s Service) uint64 {
+	e := NewEncoder()
+	s.EncodeState(e)
+	return e.Hash()
+}
+
+// CloneNodeSet deep-copies a node set; a convenience for Service.Clone
+// implementations.
+func CloneNodeSet(set map[NodeID]bool) map[NodeID]bool {
+	out := make(map[NodeID]bool, len(set))
+	for k, v := range set {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// CloneNodeSlice copies a node slice.
+func CloneNodeSlice(ids []NodeID) []NodeID {
+	if ids == nil {
+		return nil
+	}
+	out := make([]NodeID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// SortedNodes returns the keys of set in ascending order.
+func SortedNodes(set map[NodeID]bool) []NodeID {
+	ids := make([]NodeID, 0, len(set))
+	for n, ok := range set {
+		if ok {
+			ids = append(ids, n)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

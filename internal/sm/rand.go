@@ -1,0 +1,31 @@
+package sm
+
+import "math/rand"
+
+// splitmix64 is a tiny, high-quality PRNG used as a math/rand Source.
+// Handler invocations get a fresh deterministic stream per event, and the
+// default math/rand source costs ~5 KB of seeding work per instantiation —
+// far too slow for the model checker, which creates one stream per explored
+// transition.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewRand returns a deterministic *rand.Rand seeded with seed, cheap enough
+// to create per handler invocation.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(&splitmix64{state: uint64(seed)})
+}

@@ -1,0 +1,77 @@
+package snapshot
+
+// Chunk-level checkpoint diffs (paper section 3.1, "Managing Bandwidth
+// Consumption": "it can employ 'diffs' that enable a node to transmit only
+// parts of state that are different from the last sent checkpoint").
+//
+// A checkpoint is split into fixed-size chunks; a diff lists only the
+// chunks that changed relative to the last checkpoint the peer received.
+// Diffs apply only when both sides agree on the previous bytes (tracked by
+// hash) and the state length is unchanged; anything else falls back to a
+// full transfer.
+
+// diffChunkSize is the granularity of checkpoint diffs.
+const diffChunkSize = 64
+
+// chunkDiff is one changed chunk.
+type chunkDiff struct {
+	Index int
+	Data  []byte
+}
+
+// computeDiff returns the chunks of new that differ from old, and whether a
+// diff is applicable at all (equal lengths). The second result is false
+// when the caller must send the full state.
+func computeDiff(old, new []byte) ([]chunkDiff, bool) {
+	if len(old) != len(new) {
+		return nil, false
+	}
+	var diffs []chunkDiff
+	for off := 0; off < len(new); off += diffChunkSize {
+		end := off + diffChunkSize
+		if end > len(new) {
+			end = len(new)
+		}
+		if !bytesEqual(old[off:end], new[off:end]) {
+			chunk := make([]byte, end-off)
+			copy(chunk, new[off:end])
+			diffs = append(diffs, chunkDiff{Index: off / diffChunkSize, Data: chunk})
+		}
+	}
+	return diffs, true
+}
+
+// applyDiff reconstructs the new state from the old one plus the diff.
+func applyDiff(old []byte, diffs []chunkDiff) []byte {
+	out := make([]byte, len(old))
+	copy(out, old)
+	for _, d := range diffs {
+		off := d.Index * diffChunkSize
+		if off+len(d.Data) > len(out) {
+			continue // corrupt diff; caller validates by hash
+		}
+		copy(out[off:], d.Data)
+	}
+	return out
+}
+
+// diffWireSize approximates the on-wire size of a diff.
+func diffWireSize(diffs []chunkDiff) int {
+	n := 8
+	for _, d := range diffs {
+		n += 8 + len(d.Data)
+	}
+	return n
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"crystalball/internal/runtime"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/sm"
+	"crystalball/internal/testsvc"
+)
+
+func TestComputeApplyDiffRoundTrip(t *testing.T) {
+	old := bytes.Repeat([]byte("abcdefgh"), 50) // 400 bytes
+	new := append([]byte(nil), old...)
+	new[3] = 'X'
+	new[200] = 'Y'
+	new[399] = 'Z'
+	diffs, ok := computeDiff(old, new)
+	if !ok {
+		t.Fatal("diff should apply to equal-length states")
+	}
+	// Changed offsets 3, 200, 399 live in chunks 0, 3, 6.
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %d, want 3", len(diffs))
+	}
+	got := applyDiff(old, diffs)
+	if !bytes.Equal(got, new) {
+		t.Fatal("applyDiff did not reconstruct the new state")
+	}
+}
+
+func TestComputeDiffLengthMismatch(t *testing.T) {
+	if _, ok := computeDiff([]byte("abc"), []byte("abcd")); ok {
+		t.Fatal("length mismatch must force a full transfer")
+	}
+}
+
+func TestDiffWireSizeSmallerForLocalChange(t *testing.T) {
+	old := bytes.Repeat([]byte{0}, 1024)
+	new := append([]byte(nil), old...)
+	new[512] = 1
+	diffs, _ := computeDiff(old, new)
+	if diffWireSize(diffs) >= len(new) {
+		t.Fatalf("diff (%dB) not smaller than full state (%dB)",
+			diffWireSize(diffs), len(new))
+	}
+}
+
+// Property: for any equal-length pair, applyDiff(old, computeDiff(old,new))
+// equals new.
+func TestPropertyDiffRoundTrip(t *testing.T) {
+	f := func(seedData []byte, flips []uint16) bool {
+		if len(seedData) == 0 {
+			return true
+		}
+		old := append([]byte(nil), seedData...)
+		new := append([]byte(nil), seedData...)
+		for _, fp := range flips {
+			new[int(fp)%len(new)] ^= 0xFF
+		}
+		diffs, ok := computeDiff(old, new)
+		if !ok {
+			return false
+		}
+		return bytes.Equal(applyDiff(old, diffs), new)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bigDeploy builds a network where nodes 1 and 2 carry a wide peer set
+// (so their state spans several diff chunks) and every peer actually
+// exists — otherwise gossip would hit dead nodes, transport errors would
+// shrink the peer set, and checkpoint lengths would never be stable.
+func bigDeploy(s *sim.Simulator, net *simnet.Network) (sm.Factory, *runtime.Node, *runtime.Node) {
+	ids := make([]sm.NodeID, 60)
+	for i := range ids {
+		ids[i] = sm.NodeID(i + 1)
+	}
+	factory := testsvc.NewWithPeers(ids...)
+	a := runtime.NewNode(s, net, 1, factory)
+	b := runtime.NewNode(s, net, 2, factory)
+	for _, id := range ids[2:] {
+		runtime.NewNode(s, net, id, factory)
+	}
+	return factory, a, b
+}
+
+func TestDiffTransferEndToEnd(t *testing.T) {
+	// Two collections with a small state change in between: the second
+	// response should be a diff, and the reconstructed state must match
+	// a fresh full transfer.
+	s := sim.New(31)
+	net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
+	factory, a, b := bigDeploy(s, net)
+	cfg := Config{Interval: time.Hour, Quota: 100, CollectTimeout: time.Second, Diffs: true}
+	ma := NewManager(s, a, cfg)
+	mb := NewManager(s, b, cfg)
+
+	var s1, s2 *Snapshot
+	ma.Collect([]sm.NodeID{2}, func(sn *Snapshot) { s1 = sn })
+	s.RunFor(200 * time.Millisecond)
+	// Small state change at node 2: the counter bumps (fixed-width
+	// field, so state length is unchanged and the diff applies).
+	b.App(testsvc.Bump{})
+	s.RunFor(50 * time.Millisecond)
+	ma.Collect([]sm.NodeID{2}, func(sn *Snapshot) { s2 = sn })
+	s.RunFor(500 * time.Millisecond)
+
+	if s1 == nil || s2 == nil {
+		t.Fatal("collections incomplete")
+	}
+	if mb.Stats.DiffsSent == 0 {
+		t.Fatal("second transfer was not a diff")
+	}
+	// Reconstructed state decodes to the bumped counter.
+	svc, _, err := sm.DecodeFullState(factory, 2, s2.States[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.(*testsvc.Svc).N == 0 {
+		t.Fatal("diff-reconstructed state lost the update")
+	}
+}
+
+func TestDiffBaseDivergenceFallsBack(t *testing.T) {
+	// A receiver with no cached base must treat a diff as missing and
+	// resynchronise on the next round with a full transfer.
+	s := sim.New(32)
+	net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
+	_, a, b := bigDeploy(s, net)
+	cfg := Config{Interval: time.Hour, Quota: 100, CollectTimeout: time.Second, Diffs: true}
+	ma := NewManager(s, a, cfg)
+	_ = NewManager(s, b, cfg)
+
+	var s1 *Snapshot
+	ma.Collect([]sm.NodeID{2}, func(sn *Snapshot) { s1 = sn })
+	s.RunFor(300 * time.Millisecond)
+	if s1 == nil || len(s1.Missing) != 0 {
+		t.Fatalf("first collection failed: %+v", s1)
+	}
+	// Poison the requester's cached base, then change remote state so
+	// the responder offers a diff against a base we no longer hold.
+	ma.lastRecv[2] = []byte("garbage-that-wont-hash-match")
+	b.App(testsvc.Bump{})
+	s.RunFor(50 * time.Millisecond)
+	var s2 *Snapshot
+	ma.Collect([]sm.NodeID{2}, func(sn *Snapshot) { s2 = sn })
+	s.RunFor(500 * time.Millisecond)
+	if s2 == nil {
+		t.Fatal("second collection incomplete")
+	}
+	if len(s2.Missing) == 0 {
+		t.Fatal("diverged diff base should mark the peer missing")
+	}
+	// Third round recovers with a full transfer.
+	var s3 *Snapshot
+	ma.Collect([]sm.NodeID{2}, func(sn *Snapshot) { s3 = sn })
+	s.RunFor(500 * time.Millisecond)
+	if s3 == nil || len(s3.Missing) != 0 {
+		t.Fatalf("resynchronisation failed: %+v", s3)
+	}
+}

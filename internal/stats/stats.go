@@ -1,0 +1,186 @@
+// Package stats provides the small statistics and formatting helpers
+// shared by the experiment harnesses: counters, duration samples, CDFs and
+// plain-text tables matching the rows/series the paper reports.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates scalar observations.
+type Sample struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddDuration records a duration in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var total float64
+	for _, v := range s.values {
+		total += v
+	}
+	return total / float64(len(s.values))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank; 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// CDF returns (value, fraction<=value) points suitable for plotting the
+// paper's Figure 17 series.
+func (s *Sample) CDF() []CDFPoint {
+	if len(s.values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// Table renders experiment rows as aligned plain text.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row; values are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Rate renders a count as bits/second over a window.
+func Rate(bytes int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(bytes*8) / window.Seconds()
+}

@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	top := Generate(DefaultConfig(200), rng)
+	// BFS from router 0 must reach every router.
+	seen := make([]bool, top.Routers())
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, l := range top.adj[u] {
+			if !seen[l.to] {
+				seen[l.to] = true
+				queue = append(queue, l.to)
+			}
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("router %d unreachable", r)
+		}
+	}
+}
+
+func TestPowerLawishDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	top := Generate(DefaultConfig(1000), rng)
+	// Preferential attachment should yield a heavy tail: the max degree
+	// is much larger than the median degree.
+	maxDeg, sum := 0, 0
+	for _, d := range top.degree {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(len(top.degree))
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("degree distribution lacks heavy tail: max=%d mean=%.1f", maxDeg, mean)
+	}
+	if len(top.stubs) == 0 {
+		t.Fatal("no stub routers generated")
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	top := Generate(DefaultConfig(300), rng)
+	top.AttachClients(20, rng)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			p, err := top.PathBetween(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Latency <= 0 {
+				t.Fatalf("non-positive latency between %d and %d", i, j)
+			}
+			if p.Loss < 0 || p.Loss >= 1 {
+				t.Fatalf("loss out of range: %v", p.Loss)
+			}
+			if p.BandwidthBps <= 0 {
+				t.Fatalf("non-positive bandwidth")
+			}
+			// Access links bound the bottleneck.
+			if p.BandwidthBps > 5e6+1 {
+				t.Fatalf("bandwidth above access capacity: %v", p.BandwidthBps)
+			}
+		}
+	}
+}
+
+func TestPathOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	top := Generate(DefaultConfig(50), rng)
+	top.AttachClients(5, rng)
+	if _, err := top.PathBetween(0, 99); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := top.PathBetween(-1, 0); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	gen := func() []time.Duration {
+		rng := rand.New(rand.NewSource(42))
+		top := Generate(DefaultConfig(150), rng)
+		top.AttachClients(10, rng)
+		var lats []time.Duration
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				p, _ := top.PathBetween(i, j)
+				lats = append(lats, p.Latency)
+			}
+		}
+		return lats
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("topologies differ at pair %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMeanRTTPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	top := Generate(DefaultConfig(500), rng)
+	top.AttachClients(30, rng)
+	rtt := top.MeanRTT()
+	// The paper reports ~130 ms average RTT; ours should at least be in
+	// the tens-to-hundreds of milliseconds band.
+	if rtt < 5*time.Millisecond || rtt > 500*time.Millisecond {
+		t.Fatalf("mean RTT implausible: %v", rtt)
+	}
+}
+
+// Property: paths are symmetric in latency-shortest terms when computed on
+// the same topology (Dijkstra over undirected links).
+func TestPropertyPathSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	top := Generate(DefaultConfig(120), rng)
+	top.AttachClients(12, rng)
+	f := func(ai, bi uint8) bool {
+		a := int(ai) % 12
+		b := int(bi) % 12
+		p1, err1 := top.PathBetween(a, b)
+		p2, err2 := top.PathBetween(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.Latency == p2.Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllPairsMatchesPathBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	top := Generate(DefaultConfig(100), rng)
+	top.AttachClients(8, rng)
+	m := top.AllPairs()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			p, _ := top.PathBetween(i, j)
+			if m[i][j] != p {
+				t.Fatalf("AllPairs[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestTinyTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	top := Generate(DefaultConfig(1), rng) // clamped to 2
+	if top.Routers() != 2 {
+		t.Fatalf("routers = %d, want 2", top.Routers())
+	}
+	top.AttachClients(3, rng)
+	if _, err := top.PathBetween(0, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,20 +29,21 @@ func main() {
 		duration = flag.Duration("duration", 0, "virtual duration override")
 		depth    = flag.Int("depth", 0, "max depth for fig12/fig15")
 		budget   = flag.Duration("budget", 2*time.Second, "wall budget for the depths comparison")
+		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	run := func(name string) {
 		switch name {
 		case "table1":
-			cfg := experiments.Table1Config{Seed: *seed, Nodes: *nodes, Duration: *duration}
+			cfg := experiments.Table1Config{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers}
 			fmt.Print(experiments.FormatTable1(experiments.Table1(cfg)))
 		case "fig12":
-			cfg := experiments.Fig12Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000, MaxWall: 30 * time.Second}
+			cfg := experiments.Fig12Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000, MaxWall: 30 * time.Second, Workers: *workers}
 			pts := experiments.Fig12Exhaustive(cfg)
 			fmt.Print(experiments.FormatDepthPoints("Figure 12: exhaustive search time vs depth (RandTree, 5 nodes)", pts))
 		case "fig15", "fig16":
-			cfg := experiments.Fig15Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000}
+			cfg := experiments.Fig15Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000, Workers: *workers}
 			pts := experiments.Fig15Memory(cfg)
 			fmt.Print(experiments.FormatDepthPoints("Figures 15/16: consequence-prediction memory vs depth", pts))
 		case "depths":
@@ -50,10 +51,10 @@ func main() {
 			if *nodes > 0 {
 				counts = []int{*nodes}
 			}
-			rows := experiments.DepthComparison(*seed, *budget, counts)
+			rows := experiments.DepthComparison(*seed, *budget, counts, *workers)
 			fmt.Print(experiments.FormatDepthComparison(rows, *budget))
 		case "randtree-steering":
-			cfg := experiments.SteeringConfig{Seed: *seed, Nodes: *nodes, Duration: *duration}
+			cfg := experiments.SteeringConfig{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers}
 			results := []experiments.SteeringResult{
 				experiments.RandTreeSteering(cfg, experiments.NoProtection),
 				experiments.RandTreeSteering(cfg, experiments.ISCOnly),
@@ -61,10 +62,10 @@ func main() {
 			}
 			fmt.Print(experiments.FormatSteering(results))
 		case "fig14":
-			cfg := experiments.Fig14Config{Seed: *seed, Runs: *runs}
+			cfg := experiments.Fig14Config{Seed: *seed, Runs: *runs, Workers: *workers}
 			fmt.Print(experiments.FormatFig14(experiments.Fig14Paxos(cfg)))
 		case "fig17":
-			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration}
+			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration, Workers: *workers}
 			fmt.Print(experiments.FormatFig17(experiments.Fig17Bullet(cfg)))
 		case "overhead":
 			cfg := experiments.OverheadConfig{Seed: *seed, Nodes: *nodes, Duration: *duration}

@@ -37,6 +37,7 @@ func main() {
 		walks      = flag.Int("walks", 200, "random walks (random-walk mode)")
 		walkDepth  = flag.Int("walkdepth", 60, "random walk depth")
 		maxViol    = flag.Int("violations", 3, "stop after this many violations")
+		workers    = flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants")
 	)
@@ -93,6 +94,7 @@ func main() {
 		Props:             ps,
 		Factory:           factory,
 		Mode:              m,
+		Workers:           *workers,
 		MaxDepth:          *maxDepth,
 		MaxStates:         *maxStates,
 		MaxWall:           *maxWall,
@@ -105,10 +107,11 @@ func main() {
 	})
 	res := search.Run(g)
 
-	fmt.Printf("mode=%s service=%s nodes=%d\n", m, *service, *nodes)
-	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v mem=%dB (%.0f B/state)\n",
+	fmt.Printf("mode=%s service=%s nodes=%d workers=%d\n", m, *service, *nodes, res.Workers)
+	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v mem=%dB (%.0f B/state) states/sec=%.0f\n",
 		res.StatesExplored, res.Transitions, res.MaxDepthReached, res.Elapsed.Round(time.Millisecond),
-		res.PeakMemoryBytes, res.PerStateBytes)
+		res.PeakMemoryBytes, res.PerStateBytes,
+		float64(res.StatesExplored)/res.Elapsed.Seconds())
 	if len(res.Violations) == 0 {
 		fmt.Println("no violations found")
 		return

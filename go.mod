@@ -1,0 +1,3 @@
+module crystalball
+
+go 1.22

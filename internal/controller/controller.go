@@ -66,6 +66,10 @@ type Config struct {
 	MCStates int
 	// MCDepth bounds search depth (0 = unbounded).
 	MCDepth int
+	// Workers is the checker's worker-pool size per round (0 =
+	// GOMAXPROCS); the filter-safety recheck runs on the same engine
+	// with the same pool size.
+	Workers int
 	// PerStateCost is the virtual model-checking time charged per
 	// explored state; the report arrives only after the total latency.
 	PerStateCost time.Duration
@@ -131,25 +135,9 @@ func (f Finding) Signature() string {
 }
 
 // EventKind renders an event's identity-free kind ("msg:Join",
-// "timer:recovery", "reset", ...).
-func EventKind(ev sm.Event) string {
-	switch e := ev.(type) {
-	case sm.MsgEvent:
-		return "msg:" + e.Msg.MsgType()
-	case sm.TimerEvent:
-		return "timer:" + string(e.Timer)
-	case sm.AppEvent:
-		return "app:" + e.Call.CallName()
-	case sm.ResetEvent:
-		return "reset"
-	case sm.ErrorEvent:
-		return "error"
-	case sm.DropEvent:
-		return "drop"
-	default:
-		return "unknown"
-	}
-}
+// "timer:recovery", "reset", ...). It shares the checker's definition, so
+// finding signatures and mc.Violation signatures agree.
+func EventKind(ev sm.Event) string { return mc.EventKind(ev) }
 
 // Stats counts controller activity; the steering experiments read these.
 type Stats struct {
@@ -260,6 +248,7 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 		Props:         c.cfg.Props,
 		Factory:       c.cfg.Factory,
 		Mode:          mc.Consequence,
+		Workers:       c.cfg.Workers,
 		MaxStates:     c.cfg.MCStates,
 		MaxDepth:      c.cfg.MCDepth,
 		ExploreResets: c.cfg.ExploreResets,

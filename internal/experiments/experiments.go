@@ -57,6 +57,7 @@ type Fig12Config struct {
 	MaxDepth  int           // paper reaches 12-13 in hours
 	MaxStates int           // per-depth safety bound
 	MaxWall   time.Duration // per-depth wall bound
+	Workers   int           // checker worker-pool size (0 = GOMAXPROCS)
 }
 
 // Fig12Exhaustive reproduces Figure 12: elapsed time of exhaustive search
@@ -71,7 +72,7 @@ func Fig12Exhaustive(cfg Fig12Config) []DepthPoint {
 	}
 	var out []DepthPoint
 	for d := 1; d <= cfg.MaxDepth; d++ {
-		res := runRandTreeSearch(cfg.Seed, cfg.Nodes, mc.Exhaustive, d, cfg.MaxStates, cfg.MaxWall, false)
+		res := runRandTreeSearch(cfg.Seed, cfg.Nodes, mc.Exhaustive, d, cfg.MaxStates, cfg.MaxWall, false, cfg.Workers)
 		out = append(out, DepthPoint{
 			Depth:        d,
 			States:       res.StatesExplored,
@@ -88,7 +89,7 @@ func Fig12Exhaustive(cfg Fig12Config) []DepthPoint {
 
 // runRandTreeSearch builds an n-node RandTree initial state (all nodes
 // unjoined, ready to issue Join app calls) and runs one search over it.
-func runRandTreeSearch(seed int64, n int, mode mc.Mode, maxDepth, maxStates int, maxWall time.Duration, resets bool) *mc.Result {
+func runRandTreeSearch(seed int64, n int, mode mc.Mode, maxDepth, maxStates int, maxWall time.Duration, resets bool, workers int) *mc.Result {
 	factory := randtree.New(randtree.Config{Bootstrap: ids(n)[:1]})
 	g := mc.NewGState()
 	for _, id := range ids(n) {
@@ -98,6 +99,7 @@ func runRandTreeSearch(seed int64, n int, mode mc.Mode, maxDepth, maxStates int,
 		Props:         randtree.Properties,
 		Factory:       factory,
 		Mode:          mode,
+		Workers:       workers,
 		MaxDepth:      maxDepth,
 		MaxStates:     maxStates,
 		MaxWall:       maxWall,
@@ -124,6 +126,7 @@ type Fig15Config struct {
 	Seed      int64
 	MaxDepth  int // paper sweeps to ~12, notes <1 MB at 7-8
 	MaxStates int
+	Workers   int // checker worker-pool size (0 = GOMAXPROCS)
 }
 
 // Fig15Memory reproduces Figures 15 and 16: the memory consumed by the
@@ -142,6 +145,7 @@ func Fig15Memory(cfg Fig15Config) []DepthPoint {
 			Props:         randtree.Properties,
 			Factory:       factory,
 			Mode:          mc.Consequence,
+			Workers:       cfg.Workers,
 			MaxDepth:      d,
 			MaxStates:     cfg.MaxStates,
 			ExploreResets: true,
@@ -235,11 +239,11 @@ type DepthBudgetRow struct {
 //   - From a *live snapshot* (a formed tree), consequence prediction finds
 //     the Figure 2-class violation within a small fraction of the states
 //     and time exhaustive search needs, and the gap widens with scale.
-func DepthComparison(seed int64, budget time.Duration, nodeCounts []int) []DepthBudgetRow {
+func DepthComparison(seed int64, budget time.Duration, nodeCounts []int, workers int) []DepthBudgetRow {
 	var rows []DepthBudgetRow
 	for _, n := range nodeCounts {
 		for _, mode := range []mc.Mode{mc.Exhaustive, mc.Consequence} {
-			res := runRandTreeSearch(seed, n, mode, 0, 0, budget, true)
+			res := runRandTreeSearch(seed, n, mode, 0, 0, budget, true, workers)
 			rows = append(rows, DepthBudgetRow{
 				Start:      "initial",
 				Nodes:      n,
@@ -258,6 +262,7 @@ func DepthComparison(seed int64, budget time.Duration, nodeCounts []int) []Depth
 				Props:            props.Set{randtree.PropChildrenSiblingsDisjoint},
 				Factory:          factory,
 				Mode:             mode,
+				Workers:          workers,
 				ExploreResets:    true,
 				MaxResetsPerPath: 1,
 				MaxWall:          budget,

@@ -39,7 +39,11 @@ func TestFig15MemoryGrowsAndPerStateStabilises(t *testing.T) {
 }
 
 func TestDepthComparisonConsequenceWins(t *testing.T) {
-	rows := DepthComparison(1, 2*time.Second, []int{5})
+	budget := 2 * time.Second
+	if testing.Short() {
+		budget = 500 * time.Millisecond
+	}
+	rows := DepthComparison(1, budget, []int{5}, 0)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(rows))
 	}

@@ -18,6 +18,8 @@ type Fig14Config struct {
 	MaxGap time.Duration
 	// MCStates bounds each consequence-prediction run.
 	MCStates int
+	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
+	Workers int
 	// PerStateCost is the virtual checker latency per state; it creates
 	// the race between prediction and the live bug (paper: the checker
 	// needed ~6 s, so short gaps beat it and fall through to the ISC).
@@ -105,6 +107,7 @@ func runPaxosScenario(seed int64, bug string, gap time.Duration, cfg Fig14Config
 	ctrl := controller.DefaultConfig(paxos.Properties, factory)
 	ctrl.Mode = controller.ExecutionSteering
 	ctrl.MCStates = cfg.MCStates
+	ctrl.Workers = cfg.Workers
 	ctrl.PerStateCost = cfg.PerStateCost
 	ctrl.ExploreResets = bug == "bug2"
 	ctrl.EnableISC = true

@@ -23,6 +23,8 @@ type Fig17Config struct {
 	Deadline time.Duration
 	// MCStates bounds the controller's checker when enabled.
 	MCStates int
+	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Fig17Result carries both arms' download-time CDFs plus the checkpoint
@@ -90,6 +92,7 @@ func runBulletArm(cfg Fig17Config, withCB bool) (*stats.Sample, int, float64) {
 		c := controller.DefaultConfig(bulletprime.Properties, factory)
 		c.Mode = controller.DeepOnlineDebugging
 		c.MCStates = cfg.MCStates
+		c.Workers = cfg.Workers
 		c.EnableISC = false
 		c.SnapshotInterval = 10 * time.Second
 		ctrlCfg = &c

@@ -19,6 +19,8 @@ type SteeringConfig struct {
 	Duration time.Duration // paper: 1.4 h of churn
 	ChurnGap time.Duration // paper: one leave+join per minute on average
 	MCStates int
+	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
+	Workers int
 }
 
 // SteeringMode selects which protections are active.
@@ -86,6 +88,7 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 	if mode != NoProtection {
 		c := controller.DefaultConfig(randtree.Properties, factory)
 		c.MCStates = cfg.MCStates
+		c.Workers = cfg.Workers
 		c.EnableISC = true
 		c.SnapshotInterval = 10 * time.Second
 		if mode == SteeringAndISC {

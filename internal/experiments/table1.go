@@ -25,6 +25,8 @@ type Table1Config struct {
 	Duration time.Duration
 	// MCStates bounds each consequence-prediction run.
 	MCStates int
+	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Table1Result reports distinct bug classes found per system.
@@ -61,6 +63,7 @@ func table1RandTree(cfg Table1Config) Table1Result {
 	ctrl := controller.DefaultConfig(randtree.Properties, factory)
 	ctrl.Mode = controller.DeepOnlineDebugging
 	ctrl.MCStates = cfg.MCStates
+	ctrl.Workers = cfg.Workers
 	ctrl.EnableISC = false // debugging observes, never intervenes
 	ctrl.SnapshotInterval = 15 * time.Second
 	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
@@ -80,6 +83,7 @@ func table1Chord(cfg Table1Config) Table1Result {
 	ctrl := controller.DefaultConfig(chord.Properties, factory)
 	ctrl.Mode = controller.DeepOnlineDebugging
 	ctrl.MCStates = cfg.MCStates
+	ctrl.Workers = cfg.Workers
 	ctrl.EnableISC = false
 	ctrl.SnapshotInterval = 15 * time.Second
 	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
@@ -109,6 +113,7 @@ func table1Bullet(cfg Table1Config) Table1Result {
 	ctrl := controller.DefaultConfig(bulletprime.DebugProperties, factory)
 	ctrl.Mode = controller.DeepOnlineDebugging
 	ctrl.MCStates = cfg.MCStates / 2 // states are large
+	ctrl.Workers = cfg.Workers
 	ctrl.EnableISC = false
 	ctrl.SnapshotInterval = 15 * time.Second
 	d := Deploy(s, lanPath(), n, factory, &ctrl, SnapCfg())

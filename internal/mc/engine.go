@@ -1,0 +1,354 @@
+package mc
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crystalball/internal/sm"
+)
+
+// visitedShards is the shard count of the concurrent hash sets. A power of
+// two well above any realistic worker count keeps lock contention off the
+// hot path.
+const visitedShards = 64
+
+// shardedSet is a concurrent set of state hashes, sharded by the hash's low
+// bits so workers rarely contend on the same lock.
+type shardedSet struct {
+	shards [visitedShards]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+		_  [48]byte // pad to a 64-byte cache line so shard locks don't false-share
+	}
+}
+
+func newShardedSet() *shardedSet {
+	s := &shardedSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// Add inserts h and reports whether it was absent (true = first sighting).
+func (s *shardedSet) Add(h uint64) bool {
+	sh := &s.shards[h%visitedShards]
+	sh.mu.Lock()
+	_, dup := sh.m[h]
+	if !dup {
+		sh.m[h] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Has reports whether h is present.
+func (s *shardedSet) Has(h uint64) bool {
+	sh := &s.shards[h%visitedShards]
+	sh.mu.Lock()
+	_, ok := sh.m[h]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of entries.
+func (s *shardedSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// atomicMax raises *v to x if x is larger (CAS-max).
+func atomicMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// collector gathers violations from all workers, deduplicating by bug-class
+// signature and keeping, per signature, the representative with the
+// smallest (depth, state hash). For runs bounded only by depth or
+// exhaustion the reported set is therefore identical no matter how worker
+// interleavings ordered the discoveries; under a MaxViolations cutoff,
+// which violating states fill the quota first — and so the reported
+// membership — can still vary with >1 worker, exactly as it varies with
+// the processing order of the serial checker. The quota counts violating
+// *states* (every record call — each corresponds to one distinct state's
+// violation onset), matching the serial checker: a search stops quickly
+// once violations pile up even when they share a signature.
+type collector struct {
+	mu       sync.Mutex
+	bySig    map[string]int
+	list     []Violation
+	recorded int // violating states seen, including signature duplicates
+	max      int // MaxViolations (0 = unbounded)
+}
+
+func newCollector(max int) *collector {
+	return &collector{bySig: make(map[string]int), max: max}
+}
+
+// record merges v into the collection and reports whether the violation
+// quota is now (or already was) filled.
+func (c *collector) record(v Violation) (quotaFilled bool) {
+	sig := v.Signature()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && c.recorded >= c.max {
+		return true
+	}
+	c.recorded++
+	if i, seen := c.bySig[sig]; seen {
+		old := c.list[i]
+		if v.Depth < old.Depth || (v.Depth == old.Depth && v.StateHash < old.StateHash) {
+			c.list[i] = v
+		}
+	} else {
+		c.bySig[sig] = len(c.list)
+		c.list = append(c.list, v)
+	}
+	return c.max > 0 && c.recorded >= c.max
+}
+
+// violations returns the deduplicated set sorted by depth, then state hash,
+// then signature: a total order independent of discovery interleaving.
+func (c *collector) violations() []Violation {
+	c.mu.Lock()
+	out := make([]Violation, len(c.list))
+	copy(out, c.list)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth < out[j].Depth
+		}
+		if out[i].StateHash != out[j].StateHash {
+			return out[i].StateHash < out[j].StateHash
+		}
+		return out[i].Signature() < out[j].Signature()
+	})
+	return out
+}
+
+// engine is the worker-pool breadth-first explorer shared by the Exhaustive
+// and Consequence strategies. Exploration is level-synchronized: all
+// frontier states of depth d are expanded (N workers pulling from the
+// shared level via an atomic cursor) before any state of depth d+1, so a
+// state's first visited-set claim always happens at its minimal BFS depth —
+// a racing longer path can never claim a state first and prune the shorter
+// path's subtree under a depth bound. Successors dedupe through the
+// hash-sharded visited set; with workers == 1 the engine reproduces the
+// serial breadth-first search of the paper's Figures 5 and 8 exactly,
+// including expansion order.
+type engine struct {
+	s       *Search
+	workers int
+	prune   bool // consequence prediction's (node, local state) rule
+	bdg     *budget
+	visited *shardedSet
+	local   *shardedSet // consequence-prediction dedup table
+	coll    *collector
+
+	transitions   atomic.Int64
+	localPrunes   atomic.Int64
+	maxDepth      atomic.Int64
+	frontierBytes atomic.Int64
+	peakBytes     atomic.Int64
+}
+
+func newEngine(s *Search, workers int, prune bool) *engine {
+	return &engine{
+		s:       s,
+		workers: workers,
+		prune:   prune,
+		bdg:     newBudget(s.cfg.Stop(), time.Now()),
+		visited: newShardedSet(),
+		local:   newShardedSet(),
+		coll:    newCollector(s.cfg.MaxViolations),
+	}
+}
+
+func (e *engine) run(start *GState) *Result {
+	// Hashing the start state here also populates its lazy encoding
+	// caches, so every later cross-goroutine read of the shared node
+	// states is a pure read. Successors are likewise hashed by the worker
+	// that created them before they are published to the next level.
+	e.visited.Add(start.Hash())
+	e.growFrontier(int64(start.EncodedSize()))
+	level := []*searchNode{{state: start}}
+	for len(level) > 0 && !e.bdg.exhausted() {
+		level = e.processLevel(level)
+	}
+
+	res := &Result{
+		Violations:      e.coll.violations(),
+		StatesExplored:  e.bdg.statesAdmitted(),
+		Transitions:     int(e.transitions.Load()),
+		MaxDepthReached: int(e.maxDepth.Load()),
+		LocalPrunes:     int(e.localPrunes.Load()),
+		Elapsed:         time.Since(e.bdg.began),
+	}
+	// Hash-set entries cost roughly 16 bytes (8-byte key + bucket
+	// overhead amortised); frontier states dominate at shallow depths.
+	res.PeakMemoryBytes = e.peakBytes.Load() + int64(e.visited.Len()+e.local.Len())*16
+	if res.StatesExplored > 0 {
+		res.PerStateBytes = float64(res.PeakMemoryBytes) / float64(res.StatesExplored)
+	}
+	return res
+}
+
+// processLevel expands every state of one BFS level and returns the next.
+// Consequence-prediction (node, local state) claims made during a level are
+// merged into the dedup table only at the level barrier: the pruning test
+// consults strictly earlier levels, so whether a same-level twin expands
+// does not depend on which worker got there first — the exploration is
+// identical at every worker count.
+func (e *engine) processLevel(level []*searchNode) []*searchNode {
+	if e.workers == 1 || len(level) == 1 {
+		// Serial fast path: identical order to the paper's FIFO search.
+		var next []*searchNode
+		var claims []uint64
+		for _, node := range level {
+			if !e.bdg.admitState() {
+				return nil
+			}
+			next = append(next, e.process(node, &claims)...)
+			if e.bdg.exhausted() {
+				break
+			}
+		}
+		e.mergeClaims(claims)
+		return next
+	}
+	var cursor atomic.Int64
+	parts := make([][]*searchNode, e.workers)
+	claims := make([][]uint64, e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(level) || e.bdg.exhausted() || !e.bdg.admitState() {
+					break
+				}
+				parts[w] = append(parts[w], e.process(level[i], &claims[w])...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var next []*searchNode
+	for w := range parts {
+		next = append(next, parts[w]...)
+		e.mergeClaims(claims[w])
+	}
+	return next
+}
+
+func (e *engine) mergeClaims(claims []uint64) {
+	for _, lh := range claims {
+		e.local.Add(lh)
+	}
+}
+
+func (e *engine) growFrontier(delta int64) {
+	atomicMax(&e.peakBytes, e.frontierBytes.Add(delta))
+}
+
+// process explores one admitted state: check properties, expand successors
+// (cloning before every handler invocation, so the shared predecessor state
+// is never written), and return the newly claimed children. Consequence
+// (node, local state) claims go to *claims for the level-barrier merge.
+func (e *engine) process(node *searchNode, claims *[]uint64) []*searchNode {
+	e.frontierBytes.Add(-int64(node.state.EncodedSize()))
+	atomicMax(&e.maxDepth, int64(node.depth))
+
+	// Report the *onset* of each violation — properties violated here but
+	// not on the path so far — then keep exploring, as the paper's search
+	// does: a start state that already violates one property must not
+	// mask deeper, different bugs.
+	pathViolated := node.violated
+	if violated := e.s.cfg.Props.Check(node.state.View()); len(violated) > 0 {
+		var onset []string
+		for _, p := range violated {
+			if !pathViolated[p] {
+				onset = append(onset, p)
+			}
+		}
+		if len(onset) > 0 {
+			if e.coll.record(Violation{
+				Properties: onset,
+				Path:       node.path(),
+				StateHash:  node.state.Hash(),
+				Depth:      node.depth,
+			}) {
+				e.bdg.halt()
+			}
+			next := make(map[string]bool, len(pathViolated)+len(onset))
+			for p := range pathViolated {
+				next[p] = true
+			}
+			for _, p := range onset {
+				next[p] = true
+			}
+			pathViolated = next
+		}
+	}
+	if e.bdg.crit.MaxDepth > 0 && node.depth >= e.bdg.crit.MaxDepth {
+		return nil
+	}
+
+	var children []*searchNode
+	expand := func(ev sm.Event) {
+		next := e.s.ApplyEvent(node.state, ev)
+		if next == nil {
+			return
+		}
+		e.transitions.Add(1)
+		h := next.Hash() // also finalises the successor's encoding caches
+		if !e.visited.Add(h) {
+			return
+		}
+		e.growFrontier(int64(next.EncodedSize()))
+		children = append(children, &searchNode{
+			state: next, parent: node, event: ev,
+			depth: node.depth + 1, violated: pathViolated,
+		})
+	}
+
+	network, internal := e.s.EnabledEvents(node.state)
+	// H_M: always process all network handlers (Figure 8 line 13).
+	for _, ev := range network {
+		expand(ev)
+	}
+	// H_A: internal actions, pruned per (node, local state) in
+	// consequence mode (Figure 8 lines 16-20).
+	for _, id := range node.state.Nodes() {
+		evs := internal[id]
+		if len(evs) == 0 {
+			continue
+		}
+		if e.prune {
+			lh := node.state.nodes[id].localHash(id)
+			if e.local.Has(lh) {
+				e.localPrunes.Add(int64(len(evs)))
+				continue
+			}
+			*claims = append(*claims, lh)
+		}
+		for _, ev := range evs {
+			expand(ev)
+		}
+	}
+	return children
+}

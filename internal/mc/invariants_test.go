@@ -58,6 +58,9 @@ func TestConsequenceSubsetOfExhaustive(t *testing.T) {
 			Mode:      mode,
 			MaxDepth:  5,
 			MaxStates: 100000,
+			// The recorder property writes a plain map, so this test
+			// must run on the serial engine.
+			Workers: 1,
 		})
 		s.Run(twoNodeStart())
 		return seen
@@ -98,6 +101,10 @@ func TestPropertySearchDeterminism(t *testing.T) {
 			Mode:      mode,
 			MaxStates: 600,
 			Seed:      seed,
+			// Workers pinned: exact run-to-run equality under a state
+			// cutoff holds only serially (see parallel_test.go for the
+			// parallel determinism guarantees).
+			Workers: 1,
 		}
 		a := NewSearch(cfg).Run(twoNodeStart())
 		b := NewSearch(cfg).Run(twoNodeStart())

@@ -1,14 +1,16 @@
 package mc
 
 import (
-	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"crystalball/internal/props"
 	"crystalball/internal/sm"
 )
 
-// Mode selects the exploration algorithm.
+// Mode selects the built-in exploration algorithm (see Strategy for the
+// pluggable form; StrategyFor maps one to the other).
 type Mode int
 
 // Exploration modes.
@@ -26,16 +28,7 @@ const (
 	RandomWalk
 )
 
-func (m Mode) String() string {
-	switch m {
-	case Exhaustive:
-		return "exhaustive"
-	case Consequence:
-		return "consequence"
-	default:
-		return "random-walk"
-	}
-}
+func (m Mode) String() string { return StrategyFor(m).Name() }
 
 // Config parameterises a search.
 type Config struct {
@@ -45,6 +38,13 @@ type Config struct {
 	Factory sm.Factory
 	// Mode selects the algorithm.
 	Mode Mode
+	// Strategy, when non-nil, overrides Mode with a custom exploration
+	// algorithm.
+	Strategy Strategy
+	// Workers is the number of exploration goroutines sharing the work
+	// queue (0 = GOMAXPROCS). With Workers == 1 the breadth-first
+	// strategies reproduce the serial search of the paper exactly.
+	Workers int
 	// MaxStates bounds explored states (0 = unbounded).
 	MaxStates int
 	// MaxDepth bounds search depth (0 = unbounded).
@@ -53,7 +53,8 @@ type Config struct {
 	// paper's StopCriterion for runtime deployment.
 	MaxWall time.Duration
 	// MaxViolations stops the search after this many distinct violating
-	// states (0 = collect all within other bounds).
+	// states (0 = collect all within other bounds); the reported
+	// Violations list is additionally deduplicated by Signature.
 	MaxViolations int
 	// ExploreResets enables node-reset fault transitions.
 	ExploreResets bool
@@ -88,6 +89,17 @@ func (c *Config) defaults() {
 	if c.Walks == 0 {
 		c.Walks = 200
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// strategy resolves the configured exploration algorithm.
+func (c *Config) strategy() Strategy {
+	if c.Strategy != nil {
+		return c.Strategy
+	}
+	return StrategyFor(c.Mode)
 }
 
 // Violation is a predicted inconsistency: the properties violated and the
@@ -99,7 +111,48 @@ type Violation struct {
 	Depth      int
 }
 
-// Result summarises a search.
+// Signature identifies the violation's bug class for deduplication: the
+// violated properties plus the kind of the path's final event (the handler
+// at fault), with node identities stripped so the same bug reached along
+// different interleavings — or at different nodes — counts once.
+func (v Violation) Signature() string {
+	sig := ""
+	for _, p := range v.Properties {
+		sig += p + "|"
+	}
+	if n := len(v.Path); n > 0 {
+		sig += EventKind(v.Path[n-1])
+	}
+	return sig
+}
+
+// EventKind renders an event's identity-free kind ("msg:Join",
+// "timer:recovery", "reset", ...).
+func EventKind(ev sm.Event) string {
+	switch e := ev.(type) {
+	case sm.MsgEvent:
+		return "msg:" + e.Msg.MsgType()
+	case sm.TimerEvent:
+		return "timer:" + string(e.Timer)
+	case sm.AppEvent:
+		return "app:" + e.Call.CallName()
+	case sm.ResetEvent:
+		return "reset"
+	case sm.ErrorEvent:
+		return "error"
+	case sm.DropEvent:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Result summarises a search. Violations are deduplicated by Signature and
+// sorted by (depth, state hash, signature). For runs bounded only by depth
+// or exhaustion the reported set is reproducible regardless of worker
+// interleaving (the engine's level-synchronized exploration visits exactly
+// the same states); under a states/wall/violations cutoff, which states
+// fall inside the budget can vary with more than one worker.
 type Result struct {
 	Violations      []Violation
 	StatesExplored  int
@@ -115,15 +168,17 @@ type Result struct {
 	// LocalPrunes counts internal-action expansions skipped by the
 	// consequence-prediction rule (0 in exhaustive mode).
 	LocalPrunes int
+	// Workers is the worker-pool size the search ran with.
+	Workers int
 }
 
 // Search runs one exploration. Create with NewSearch, run with Run.
 type Search struct {
 	cfg Config
-	// DummyRedirects counts messages redirected to the dummy node
-	// (sends to nodes outside the snapshot).
-	DummyRedirects int
-	localPrunes    int
+	// dummyRedirects counts messages redirected to the dummy node (sends
+	// to nodes outside the snapshot); atomic because handler execution is
+	// spread across the worker pool.
+	dummyRedirects atomic.Int64
 }
 
 // NewSearch returns a Search for the given configuration.
@@ -132,7 +187,12 @@ func NewSearch(cfg Config) *Search {
 	return &Search{cfg: cfg}
 }
 
+// Config returns the search's (defaulted) configuration.
+func (s *Search) Config() Config { return s.cfg }
+
 // searchNode is a frontier entry; parent links reconstruct violation paths.
+// Once a node is published to the work queue every field is immutable, so
+// workers may traverse parent chains freely.
 type searchNode struct {
 	state  *GState
 	parent *searchNode
@@ -190,226 +250,25 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
 	return next
 }
 
+// ApplyEvent executes ev on g — honoring installed event filters — and
+// returns the successor state, or nil when the event is not applicable.
+// g is never mutated: handlers run on cloned node states, so ApplyEvent is
+// safe to call from concurrent workers on a shared predecessor (provided
+// g's Hash has been computed, which the engine guarantees before sharing).
+func (s *Search) ApplyEvent(g *GState, ev sm.Event) *GState {
+	if f, ok := s.filterFor(ev); ok {
+		return s.applyFiltered(g, ev, f)
+	}
+	return s.apply(g, ev)
+}
+
 // Run explores from the start state and returns the result. The start
 // state is not mutated.
 func (s *Search) Run(start *GState) *Result {
-	s.DummyRedirects = 0
-	s.localPrunes = 0
-	if s.cfg.Mode == RandomWalk {
-		return s.runRandomWalk(start)
-	}
-	return s.runBFS(start)
-}
-
-// runBFS implements both Figure 5 (exhaustive) and Figure 8 (consequence
-// prediction); the only difference is the localExplored test guarding
-// internal actions.
-func (s *Search) runBFS(start *GState) *Result {
-	began := time.Now()
-	res := &Result{}
-	explored := make(map[uint64]bool)
-	localExplored := make(map[uint64]bool)
-	frontier := []*searchNode{{state: start}}
-	var frontierBytes int64
-	frontierBytes += int64(start.EncodedSize())
-	peak := frontierBytes
-
-	stop := func() bool {
-		if s.cfg.MaxStates > 0 && res.StatesExplored >= s.cfg.MaxStates {
-			return true
-		}
-		if s.cfg.MaxWall > 0 && time.Since(began) > s.cfg.MaxWall {
-			return true
-		}
-		if s.cfg.MaxViolations > 0 && len(res.Violations) >= s.cfg.MaxViolations {
-			return true
-		}
-		return false
-	}
-
-	for len(frontier) > 0 && !stop() {
-		node := frontier[0]
-		frontier = frontier[1:]
-		frontierBytes -= int64(node.state.EncodedSize())
-		res.StatesExplored++
-		if node.depth > res.MaxDepthReached {
-			res.MaxDepthReached = node.depth
-		}
-		// Report the *onset* of each violation — properties violated
-		// here but not on the path so far — then keep exploring, as
-		// the paper's search does: a start state that already violates
-		// one property must not mask deeper, different bugs.
-		violated := s.cfg.Props.Check(node.state.View())
-		pathViolated := node.violated
-		if len(violated) > 0 {
-			var onset []string
-			for _, p := range violated {
-				if !pathViolated[p] {
-					onset = append(onset, p)
-				}
-			}
-			if len(onset) > 0 {
-				res.Violations = append(res.Violations, Violation{
-					Properties: onset,
-					Path:       node.path(),
-					StateHash:  node.state.Hash(),
-					Depth:      node.depth,
-				})
-				next := make(map[string]bool, len(pathViolated)+len(onset))
-				for p := range pathViolated {
-					next[p] = true
-				}
-				for _, p := range onset {
-					next[p] = true
-				}
-				pathViolated = next
-			}
-		}
-		explored[node.state.Hash()] = true
-		if s.cfg.MaxDepth > 0 && node.depth >= s.cfg.MaxDepth {
-			continue
-		}
-
-		expand := func(ev sm.Event) {
-			var next *GState
-			if f, ok := s.filterFor(ev); ok {
-				next = s.applyFiltered(node.state, ev, f)
-			} else {
-				next = s.apply(node.state, ev)
-			}
-			if next == nil {
-				return
-			}
-			res.Transitions++
-			h := next.Hash()
-			if explored[h] {
-				return
-			}
-			explored[h] = true
-			frontier = append(frontier, &searchNode{
-				state: next, parent: node, event: ev,
-				depth: node.depth + 1, violated: pathViolated,
-			})
-			frontierBytes += int64(next.EncodedSize())
-			if frontierBytes > peak {
-				peak = frontierBytes
-			}
-		}
-
-		network, internal := s.enabledEvents(node.state)
-		// H_M: always process all network handlers (Figure 8 line 13).
-		for _, ev := range network {
-			expand(ev)
-		}
-		// H_A: internal actions, pruned per (node, local state) in
-		// consequence mode (Figure 8 lines 16-20).
-		for _, id := range node.state.Nodes() {
-			evs := internal[id]
-			if len(evs) == 0 {
-				continue
-			}
-			if s.cfg.Mode == Consequence {
-				lh := node.state.nodes[id].localHash(id)
-				if localExplored[lh] {
-					s.localPrunes += len(evs)
-					continue
-				}
-				localExplored[lh] = true
-			}
-			for _, ev := range evs {
-				expand(ev)
-			}
-		}
-	}
-
-	res.Elapsed = time.Since(began)
-	res.DummyRedirects = s.DummyRedirects
-	res.LocalPrunes = s.localPrunes
-	// Hash-set entries cost roughly 16 bytes (8-byte key + bucket
-	// overhead amortised); frontier states dominate at shallow depths.
-	res.PeakMemoryBytes = peak + int64(len(explored)+len(localExplored))*16
-	if res.StatesExplored > 0 {
-		res.PerStateBytes = float64(res.PeakMemoryBytes) / float64(res.StatesExplored)
-	}
-	return res
-}
-
-// runRandomWalk performs cfg.Walks random walks of cfg.WalkDepth steps.
-func (s *Search) runRandomWalk(start *GState) *Result {
-	began := time.Now()
-	res := &Result{}
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
-	seenViolation := make(map[uint64]bool)
-
-	for walk := 0; walk < s.cfg.Walks; walk++ {
-		if s.cfg.MaxWall > 0 && time.Since(began) > s.cfg.MaxWall {
-			break
-		}
-		if s.cfg.MaxViolations > 0 && len(res.Violations) >= s.cfg.MaxViolations {
-			break
-		}
-		node := &searchNode{state: start}
-		walkViolated := make(map[string]bool)
-		for depth := 0; depth < s.cfg.WalkDepth; depth++ {
-			if s.cfg.MaxStates > 0 && res.StatesExplored >= s.cfg.MaxStates {
-				break
-			}
-			res.StatesExplored++
-			if depth > res.MaxDepthReached {
-				res.MaxDepthReached = depth
-			}
-			if violated := s.cfg.Props.Check(node.state.View()); len(violated) > 0 {
-				var onset []string
-				for _, p := range violated {
-					if !walkViolated[p] {
-						onset = append(onset, p)
-						walkViolated[p] = true
-					}
-				}
-				h := node.state.Hash()
-				if len(onset) > 0 && !seenViolation[h] {
-					seenViolation[h] = true
-					res.Violations = append(res.Violations, Violation{
-						Properties: onset,
-						Path:       node.path(),
-						StateHash:  h,
-						Depth:      depth,
-					})
-				}
-			}
-			network, internal := s.enabledEvents(node.state)
-			all := append([]sm.Event{}, network...)
-			for _, id := range node.state.Nodes() {
-				all = append(all, internal[id]...)
-			}
-			if len(all) == 0 {
-				break
-			}
-			// Try events in random order until one applies.
-			perm := rng.Perm(len(all))
-			var next *GState
-			var chosen sm.Event
-			for _, i := range perm {
-				ev := all[i]
-				if f, ok := s.filterFor(ev); ok {
-					next = s.applyFiltered(node.state, ev, f)
-				} else {
-					next = s.apply(node.state, ev)
-				}
-				if next != nil {
-					chosen = ev
-					break
-				}
-			}
-			if next == nil {
-				break
-			}
-			res.Transitions++
-			node = &searchNode{state: next, parent: node, event: chosen, depth: node.depth + 1}
-		}
-	}
-	res.Elapsed = time.Since(began)
-	res.DummyRedirects = s.DummyRedirects
+	s.dummyRedirects.Store(0)
+	res := s.cfg.strategy().Explore(s, start, s.cfg.Workers)
+	res.DummyRedirects = int(s.dummyRedirects.Load())
+	res.Workers = s.cfg.Workers
 	return res
 }
 
@@ -426,12 +285,7 @@ func (s *Search) Replay(start *GState, path []sm.Event) []string {
 		return violated
 	}
 	for _, ev := range path {
-		var next *GState
-		if f, ok := s.filterFor(ev); ok {
-			next = s.applyFiltered(g, ev, f)
-		} else {
-			next = s.apply(g, ev)
-		}
+		next := s.ApplyEvent(g, ev)
 		if next == nil {
 			// Event not applicable from the new state: the path is
 			// no longer feasible.

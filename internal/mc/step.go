@@ -99,7 +99,7 @@ func removeMsg(msgs []InFlight, i int) []InFlight {
 func (s *Search) dispatchSends(next *GState, ctx *mcContext) {
 	for _, sd := range ctx.sends {
 		if _, known := next.nodes[sd.To]; !known {
-			s.DummyRedirects++
+			s.dummyRedirects.Add(1)
 			continue
 		}
 		if next.stale[pair{sd.From, sd.To}] {
@@ -251,11 +251,12 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 	return next
 }
 
-// enabledEvents enumerates the transitions available from g, split into
+// EnabledEvents enumerates the transitions available from g, split into
 // message-handler events (the paper's H_M: deliveries, error notifications,
 // RST drops) and internal-action events per node (H_A: timers, application
-// calls, resets). Consequence prediction prunes only the latter.
-func (s *Search) enabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
+// calls, resets). Consequence prediction prunes only the latter. It only
+// reads g, so concurrent workers may enumerate a shared state freely.
+func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
 	seenMsg := make(map[string]bool)
 	for _, m := range g.msgs {
 		if m.RST() {

@@ -1,0 +1,79 @@
+package mc
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StopCriterion unifies the search budgets: a search stops when any of the
+// non-zero bounds is reached. It is the "StopCriterion" the paper's runtime
+// deployment hands to consequence prediction so a round always finishes
+// within a snapshot interval.
+type StopCriterion struct {
+	// MaxStates bounds explored states (0 = unbounded).
+	MaxStates int
+	// MaxDepth bounds search depth (0 = unbounded).
+	MaxDepth int
+	// MaxWall bounds wall-clock time (0 = unbounded).
+	MaxWall time.Duration
+	// MaxViolations stops the search after this many distinct violating
+	// states (0 = collect all within other bounds).
+	MaxViolations int
+}
+
+// Stop returns the search's stop criterion.
+func (c *Config) Stop() StopCriterion {
+	return StopCriterion{
+		MaxStates:     c.MaxStates,
+		MaxDepth:      c.MaxDepth,
+		MaxWall:       c.MaxWall,
+		MaxViolations: c.MaxViolations,
+	}
+}
+
+// budget is the shared, atomically-updated accounting for one search run.
+// Every worker consults it before admitting a state; the counters are exact
+// (a rejected admission is rolled back), so bounded runs never overshoot
+// regardless of worker count.
+type budget struct {
+	crit     StopCriterion
+	began    time.Time
+	deadline time.Time // zero when MaxWall is unbounded
+	states   atomic.Int64
+	halted   atomic.Bool
+}
+
+func newBudget(crit StopCriterion, began time.Time) *budget {
+	b := &budget{crit: crit, began: began}
+	if crit.MaxWall > 0 {
+		b.deadline = began.Add(crit.MaxWall)
+	}
+	return b
+}
+
+// admitState atomically claims one unit of the state budget; it returns
+// false when the budget (states or wall clock) is exhausted.
+func (b *budget) admitState() bool {
+	if b.halted.Load() {
+		return false
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.halted.Store(true)
+		return false
+	}
+	if n := b.states.Add(1); b.crit.MaxStates > 0 && n > int64(b.crit.MaxStates) {
+		b.states.Add(-1)
+		b.halted.Store(true)
+		return false
+	}
+	return true
+}
+
+// halt marks the budget exhausted (e.g. the violation quota filled).
+func (b *budget) halt() { b.halted.Store(true) }
+
+// exhausted reports whether some bound tripped.
+func (b *budget) exhausted() bool { return b.halted.Load() }
+
+// statesAdmitted returns the number of states admitted so far.
+func (b *budget) statesAdmitted() int { return int(b.states.Load()) }

@@ -337,16 +337,52 @@ func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
 }
 
 // BenchmarkStateHash measures global-state hashing, the checker's hottest
-// primitive.
+// primitive. The fingerprint is a commutative sum of per-component hashes
+// maintained incrementally through every successor constructor, so:
+//
+//   - lookup: Hash on an existing state is an O(1) read;
+//   - successor: apply + hash of a successor pays only O(delta) — the one
+//     re-encoded node and the touched messages — instead of re-encoding
+//     all 9 nodes;
+//   - full-recompute: the from-scratch oracle (FullHash), which is what
+//     every successor hash used to cost before the incremental scheme.
 func BenchmarkStateHash(b *testing.B) {
-	_, g := formedTree(9)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if g.Hash() == 0 {
-			b.Fatal("zero hash")
-		}
+	factory, g := formedTree(9)
+	s := mc.NewSearch(mc.Config{
+		Props:   randtree.Properties,
+		Factory: factory,
+	})
+	ev := sm.TimerEvent{At: 5, Timer: randtree.TimerRecovery}
+	succ := s.ApplyEvent(g, ev)
+	if succ == nil {
+		b.Fatal("timer event not applicable")
 	}
+
+	b.Run("lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if g.Hash() == 0 {
+				b.Fatal("zero hash")
+			}
+		}
+	})
+	b.Run("successor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			next := s.ApplyEvent(g, ev)
+			if next == nil || next.Hash() == 0 {
+				b.Fatal("bad successor")
+			}
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if succ.FullHash() == 0 {
+				b.Fatal("zero hash")
+			}
+		}
+	})
 }
 
 // BenchmarkCheckpointEncode measures full-state encoding (checkpoint

@@ -178,10 +178,9 @@ func newEngine(s *Search, workers int, prune bool) *engine {
 }
 
 func (e *engine) run(start *GState) *Result {
-	// Hashing the start state here also populates its lazy encoding
-	// caches, so every later cross-goroutine read of the shared node
-	// states is a pure read. Successors are likewise hashed by the worker
-	// that created them before they are published to the next level.
+	// Encoding and hash caches are populated at state construction (AddNode
+	// / ApplyEvent), so every cross-goroutine read of shared states is a
+	// pure read and Hash is an O(1) lookup of the incremental fingerprint.
 	e.visited.Add(start.Hash())
 	e.growFrontier(int64(start.EncodedSize()))
 	level := []*searchNode{{state: start}}
@@ -315,7 +314,7 @@ func (e *engine) process(node *searchNode, claims *[]uint64) []*searchNode {
 			return
 		}
 		e.transitions.Add(1)
-		h := next.Hash() // also finalises the successor's encoding caches
+		h := next.Hash() // O(1): maintained incrementally during apply
 		if !e.visited.Add(h) {
 			return
 		}

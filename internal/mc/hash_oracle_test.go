@@ -1,0 +1,134 @@
+package mc
+
+import (
+	"testing"
+
+	"crystalball/internal/props"
+	"crystalball/internal/services/paxos"
+	"crystalball/internal/sm"
+)
+
+// These tests are the differential oracle for the incremental fingerprint:
+// GState.Hash is maintained in O(delta) through every successor
+// constructor, and must equal FullHash — a from-scratch re-encoding of
+// every node, message and stale pair — at every step of every walk.
+
+// oracleWalk drives random event paths from start and checks the
+// incremental hash against the from-scratch recomputation at every state.
+func oracleWalk(t *testing.T, s *Search, start *GState, walks, depth int, seed int64) {
+	t.Helper()
+	checkState := func(g *GState, step int) {
+		t.Helper()
+		if got, want := g.Hash(), g.FullHash(); got != want {
+			t.Fatalf("step %d: incremental hash %#x != from-scratch %#x", step, got, want)
+		}
+	}
+	checkState(start, -1)
+	for w := 0; w < walks; w++ {
+		rng := sm.NewRand(seed ^ int64(w+1)*-0x61c8864680b583eb)
+		g := start
+		for step := 0; step < depth; step++ {
+			network, internal := s.EnabledEvents(g)
+			all := append([]sm.Event{}, network...)
+			for _, id := range g.Nodes() {
+				all = append(all, internal[id]...)
+			}
+			if len(all) == 0 {
+				break
+			}
+			var next *GState
+			for _, i := range rng.Perm(len(all)) {
+				if next = s.ApplyEvent(g, all[i]); next != nil {
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			checkState(next, step)
+			// The predecessor must be untouched by successor construction.
+			checkState(g, step)
+			g = next
+		}
+	}
+}
+
+// TestHashOracleToyResets covers the reset transition's full bookkeeping —
+// dropped in-flight traffic, stale-pair marking and clearing, RST fan-out,
+// the resets counter — plus message, timer, app, error and drop events.
+func TestHashOracleToyResets(t *testing.T) {
+	s := NewSearch(Config{
+		Props:            poisonAt(1000),
+		Factory:          newToy,
+		ExploreResets:    true,
+		MaxResetsPerPath: 2,
+	})
+	oracleWalk(t, s, multiTimerStart(), 30, 25, 11)
+}
+
+// TestHashOracleChord walks the paper's Figure 10 Chord scenario with
+// resets and connection breaks enabled.
+func TestHashOracleChord(t *testing.T) {
+	factory, g := chordFigure10Start()
+	s := NewSearch(Config{
+		Props:             props.Set{},
+		Factory:           factory,
+		ExploreResets:     true,
+		ExploreConnBreaks: true,
+		MaxResetsPerPath:  1,
+	})
+	oracleWalk(t, s, g, 25, 20, 23)
+}
+
+// TestHashOraclePaxos walks the paper's Figure 13 Paxos scenario.
+func TestHashOraclePaxos(t *testing.T) {
+	factory := paxos.New(paxos.Config{Members: []sm.NodeID{1, 2, 3}, Bug1: true})
+	s := NewSearch(Config{
+		Props:         props.Set{},
+		Factory:       factory,
+		ExploreResets: true,
+	})
+	oracleWalk(t, s, paxosPostRound1Start(factory), 25, 20, 37)
+}
+
+// TestHashOracleFiltered covers the filtered-apply constructor (message
+// dropped, optional RST queued) which bypasses runHandler.
+func TestHashOracleFiltered(t *testing.T) {
+	for _, breakConn := range []bool{false, true} {
+		g := twoNodeStart()
+		s := NewSearch(Config{Props: poisonAt(1000), Factory: newToy})
+		next := s.applyFiltered(g, sm.MsgEvent{From: 1, To: 2, Msg: ping{N: 1}}, sm.Filter{
+			Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping", BreakConn: breakConn,
+		})
+		if next == nil {
+			t.Fatal("filtered apply failed")
+		}
+		if got, want := next.Hash(), next.FullHash(); got != want {
+			t.Fatalf("breakConn=%v: incremental %#x != from-scratch %#x", breakConn, got, want)
+		}
+	}
+}
+
+// TestHashOracleMarkStale covers the exported MarkStale mutator.
+func TestHashOracleMarkStale(t *testing.T) {
+	g := twoNodeStart()
+	g.MarkStale(1, 2)
+	g.MarkStale(1, 2) // idempotent: must not double-count
+	if got, want := g.Hash(), g.FullHash(); got != want {
+		t.Fatalf("incremental %#x != from-scratch %#x", got, want)
+	}
+	if !g.Stale(1, 2) {
+		t.Fatal("stale pair lost")
+	}
+}
+
+// TestHashMatchesFullHashOnConstruction: states assembled through the
+// public constructors fingerprint identically to the oracle.
+func TestHashMatchesFullHashOnConstruction(t *testing.T) {
+	for _, mk := range []func() *GState{NewGState, twoNodeStart, multiTimerStart} {
+		g := mk()
+		if got, want := g.Hash(), g.FullHash(); got != want {
+			t.Fatalf("incremental %#x != from-scratch %#x", got, want)
+		}
+	}
+}

@@ -436,6 +436,18 @@ func TestHashInsensitiveToMsgOrder(t *testing.T) {
 	if g1.Hash() != g2.Hash() {
 		t.Fatal("in-flight multiset hashing is order sensitive")
 	}
+	// The commutative fingerprint must still distinguish true multisets:
+	// two copies of the same message are not one copy.
+	g3 := NewGState()
+	g3.AddNode(1, newToy(1), nil)
+	g3.AddMessage(1, 1, ping{N: 1})
+	g3.AddMessage(1, 1, ping{N: 1})
+	if g3.Hash() == g1.Hash() {
+		t.Fatal("duplicate message collapsed: multiset became a set")
+	}
+	if g3.Hash() != g3.FullHash() {
+		t.Fatal("incremental hash disagrees with from-scratch oracle")
+	}
 }
 
 func TestMemoryAccounting(t *testing.T) {

@@ -241,10 +241,10 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
 		return nil
 	}
 	next := g.shallowClone()
-	next.msgs = removeMsg(next.msgs, i)
+	next.removeMsgAt(i)
 	if f.BreakConn {
 		if _, known := next.nodes[me.From]; known {
-			next.msgs = append(next.msgs, InFlight{From: me.To, To: me.From, Msg: nil})
+			next.addMsg(InFlight{From: me.To, To: me.From, Msg: nil})
 		}
 	}
 	return next
@@ -252,9 +252,11 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
 
 // ApplyEvent executes ev on g — honoring installed event filters — and
 // returns the successor state, or nil when the event is not applicable.
-// g is never mutated: handlers run on cloned node states, so ApplyEvent is
-// safe to call from concurrent workers on a shared predecessor (provided
-// g's Hash has been computed, which the engine guarantees before sharing).
+// g is never mutated: handlers run on cloned node states, and all encoding
+// and hash caches are populated at state construction, so ApplyEvent is
+// safe to call from concurrent workers on a shared predecessor. The
+// successor's fingerprint is maintained incrementally during construction,
+// so its Hash is ready in O(changed components).
 func (s *Search) ApplyEvent(g *GState, ev sm.Event) *GState {
 	if f, ok := s.filterFor(ev); ok {
 		return s.applyFiltered(g, ev, f)

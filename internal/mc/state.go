@@ -19,15 +19,29 @@ import (
 	"crystalball/internal/sm"
 )
 
+// Domain tags for the commutative state fingerprint: every component hash
+// is FNV-64a over (tag, component encoding), so components of different
+// kinds occupy separate hash domains and a message can never cancel a node
+// or a stale pair in the sum.
+const (
+	domainNode   = 'N'
+	domainMsg    = 'M'
+	domainStale  = 'S'
+	domainResets = 'R'
+)
+
 // NodeState is one node's local state inside the checker: the service state
 // machine plus the pending-timer set. NodeState values are immutable once
 // placed in a GState; successor states clone before mutating. Because of
-// that immutability, the canonical encoding is computed once and shared by
-// every global state the node state appears in.
+// that immutability, the canonical encoding and the derived hashes are
+// computed once — by the constructing goroutine, before the state is shared
+// — and reused by every global state the node state appears in.
 type NodeState struct {
 	Svc    sm.Service
 	Timers map[sm.TimerID]bool
-	enc    []byte // lazy canonical encoding of (Svc, Timers)
+	enc    []byte // canonical encoding of (Svc, Timers), set by finalize
+	chash  uint64 // domain-tagged component hash of (id, enc), set by finalize
+	lhash  uint64 // consequence-prediction local hash, set by finalize
 }
 
 func (ns *NodeState) clone() *NodeState {
@@ -40,10 +54,8 @@ func (ns *NodeState) clone() *NodeState {
 	return &NodeState{Svc: ns.Svc.Clone(), Timers: timers}
 }
 
-// encoding returns the canonical encoding, computing and caching it on
-// first use. Callers must not invoke it until the state is final (all
-// handler mutations applied), which the search guarantees: hashing happens
-// only after successor construction completes.
+// encoding returns the canonical encoding. finalize populates it before the
+// state is shared, so concurrent readers see a pure read.
 func (ns *NodeState) encoding() []byte {
 	if ns.enc == nil {
 		e := sm.NewEncoder()
@@ -56,14 +68,26 @@ func (ns *NodeState) encoding() []byte {
 	return ns.enc
 }
 
-// localHash hashes the node-local state (service state + timers); the
-// consequence-prediction pruning keys its localExplored set on this.
-func (ns *NodeState) localHash(id sm.NodeID) uint64 {
+// finalize computes and caches the canonical encoding plus the two hashes
+// derived from it: the global-fingerprint component hash and the
+// consequence-prediction local hash. It must be called exactly once, by the
+// goroutine constructing the enclosing GState, after all handler mutations
+// are applied and before the state is published to other workers — from
+// then on every access is a pure read, safe under -race.
+func (ns *NodeState) finalize(id sm.NodeID) {
 	e := sm.NewEncoder()
 	e.NodeID(id)
 	e.Bytes2(ns.encoding())
-	return e.Hash()
+	ns.chash = e.DomainHash(domainNode)
+	ns.lhash = e.Hash()
 }
+
+// localHash returns the hash of the node-local state (service state +
+// timers); the consequence-prediction pruning keys its localExplored set on
+// this. The value is precomputed by finalize — every NodeState reaches a
+// GState through setNode, runHandler or applyReset, all of which finalize
+// before publishing — so this is a pure read on shared states.
+func (ns *NodeState) localHash(id sm.NodeID) uint64 { return ns.lhash }
 
 func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
 	names := make([]string, 0, len(timers))
@@ -81,11 +105,14 @@ func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
 
 // InFlight is one in-flight network item: a service message, or (when Msg
 // is nil) an RST notification telling To that its connection to From broke.
+// The component hash is computed when the item is added to a GState
+// (messages are immutable), so hashing and enumeration never write to
+// shared state.
 type InFlight struct {
-	From sm.NodeID
-	To   sm.NodeID
-	Msg  sm.Message // nil => RST notification
-	enc  string     // lazy canonical encoding (messages are immutable)
+	From  sm.NodeID
+	To    sm.NodeID
+	Msg   sm.Message // nil => RST notification
+	chash uint64     // domain-tagged component hash, set at construction
 }
 
 // RST reports whether the item is a connection-break notification.
@@ -105,15 +132,38 @@ func (f InFlight) encode(e *sm.Encoder) {
 
 type pair struct{ a, b sm.NodeID }
 
+// staleComp returns the fingerprint component hash of one stale pair.
+func staleComp(p pair) uint64 {
+	e := sm.NewEncoder()
+	e.NodeID(p.a)
+	e.NodeID(p.b)
+	return e.DomainHash(domainStale)
+}
+
+// resetsComp returns the fingerprint component hash of the resets counter.
+func resetsComp(n int) uint64 {
+	e := sm.NewEncoder()
+	e.Int(n)
+	return e.DomainHash(domainResets)
+}
+
 // GState is a global system state: the paper's (L, I) plus transport
 // bookkeeping. GStates are persistent: successors share unmodified node
 // states and copy only what an event changes.
+//
+// The state fingerprint (Hash) is maintained incrementally: hsum is the
+// wrapping sum of the component hashes of every node, in-flight item and
+// stale pair plus the resets counter. Addition is commutative, so the
+// fingerprint is independent of bookkeeping order (in-flight items hash as
+// a multiset, as the paper's model requires), and every mutation helper
+// below updates the sum in O(1) — a successor's hash costs O(changed
+// components) instead of a full re-encoding of every node.
 type GState struct {
 	nodes  map[sm.NodeID]*NodeState
 	msgs   []InFlight
 	stale  map[pair]bool // (sender, peer): sender holds a stale socket to peer
 	resets int           // reset events taken on this path (bounds fault depth)
-	hash   uint64        // memoized Hash (0 = not yet computed)
+	hsum   uint64        // incrementally maintained commutative fingerprint
 }
 
 // NewGState builds a global state from per-node services and timer sets.
@@ -123,10 +173,12 @@ func NewGState() *GState {
 	return &GState{
 		nodes: make(map[sm.NodeID]*NodeState),
 		stale: make(map[pair]bool),
+		hsum:  resetsComp(0),
 	}
 }
 
-// AddNode inserts a node's local state.
+// AddNode inserts a node's local state. The service's encoding and hashes
+// are captured here, so callers must finish mutating svc before AddNode.
 func (g *GState) AddNode(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]bool) {
 	tm := make(map[sm.TimerID]bool, len(timers))
 	for t, ok := range timers {
@@ -134,12 +186,62 @@ func (g *GState) AddNode(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]boo
 			tm[t] = true
 		}
 	}
-	g.nodes[id] = &NodeState{Svc: svc, Timers: tm}
+	g.setNode(id, &NodeState{Svc: svc, Timers: tm})
+}
+
+// setNode installs ns as id's local state, finalizing its encoding/hashes
+// and updating the fingerprint (removing any previous state's component).
+func (g *GState) setNode(id sm.NodeID, ns *NodeState) {
+	if old := g.nodes[id]; old != nil {
+		g.hsum -= old.chash // every installed node is finalized
+	}
+	ns.finalize(id)
+	g.hsum += ns.chash
+	g.nodes[id] = ns
 }
 
 // AddMessage inserts an in-flight service message.
 func (g *GState) AddMessage(from, to sm.NodeID, msg sm.Message) {
-	g.msgs = append(g.msgs, InFlight{From: from, To: to, Msg: msg})
+	g.addMsg(InFlight{From: from, To: to, Msg: msg})
+}
+
+// addMsg appends an in-flight item, computing its component hash at
+// construction time and folding it into the fingerprint.
+func (g *GState) addMsg(m InFlight) {
+	e := sm.NewEncoder()
+	m.encode(e)
+	m.chash = e.DomainHash(domainMsg)
+	g.hsum += m.chash
+	g.msgs = append(g.msgs, m)
+}
+
+// removeMsgAt deletes the i-th in-flight item and updates the fingerprint.
+func (g *GState) removeMsgAt(i int) {
+	g.hsum -= g.msgs[i].chash
+	g.msgs = removeMsg(g.msgs, i)
+}
+
+// setStale records a stale pair, updating the fingerprint if it was absent.
+func (g *GState) setStale(p pair) {
+	if !g.stale[p] {
+		g.stale[p] = true
+		g.hsum += staleComp(p)
+	}
+}
+
+// clearStale removes a stale pair, updating the fingerprint if present.
+func (g *GState) clearStale(p pair) {
+	if g.stale[p] {
+		delete(g.stale, p)
+		g.hsum -= staleComp(p)
+	}
+}
+
+// bumpResets increments the reset counter, swapping its component hash.
+func (g *GState) bumpResets() {
+	g.hsum -= resetsComp(g.resets)
+	g.resets++
+	g.hsum += resetsComp(g.resets)
 }
 
 // Nodes returns the node ids present, ascending.
@@ -167,60 +269,59 @@ func (g *GState) View() *props.View {
 	return v
 }
 
-// Hash returns the FNV-64a hash of the full global state. In-flight
-// messages hash as a multiset (the paper's model treats I as a set, with no
-// FIFO ordering), so states differing only in bookkeeping order collide as
-// they should.
+// Hash returns the state fingerprint: the commutative sum of the
+// domain-tagged FNV-64a component hashes of every node, in-flight item and
+// stale pair plus the resets counter. The sum is maintained incrementally
+// by every mutation, so Hash is O(1) and never writes to the state —
+// concurrent workers may hash a shared state freely. States differing only
+// in bookkeeping order (in-flight slice order, map iteration) collide as
+// they should; FullHash recomputes the same value from scratch and serves
+// as the differential oracle in tests.
+//
+// Unlike the pre-incremental scheme, the fingerprint includes the resets
+// counter: two states equal in (nodes, messages, stale pairs) but reached
+// with different reset budgets enable different transitions (EnabledEvents
+// gates ResetEvent on g.resets), so conflating them in the visited set
+// could prune reachable fault paths. This deliberately refines the
+// visited-set equivalence relation.
 func (g *GState) Hash() uint64 {
-	if g.hash != 0 {
-		return g.hash
+	if g.hsum == 0 {
+		return 1 // keep 0 free as the "no state" sentinel used by callers
 	}
-	e := sm.NewEncoder()
-	for _, id := range g.Nodes() {
+	return g.hsum
+}
+
+// FullHash recomputes the fingerprint from scratch — re-encoding every
+// service, message and stale pair, bypassing all cached encodings — and
+// must always equal Hash. It is the slow-path oracle the differential
+// property tests check the incremental maintenance against, and a fallback
+// for tooling that constructs states outside the checker's mutators.
+func (g *GState) FullHash() uint64 {
+	var sum uint64
+	for id, ns := range g.nodes {
+		ne := sm.NewEncoder()
+		ns.Svc.EncodeState(ne)
+		encodeTimers(ne, ns.Timers)
+		e := sm.NewEncoder()
 		e.NodeID(id)
-		e.Bytes2(g.nodes[id].encoding())
+		e.Bytes2(ne.Bytes())
+		sum += e.DomainHash(domainNode)
 	}
-	// Encode each in-flight item separately and sort the encodings for
-	// multiset semantics; encodings are cached since messages never
-	// mutate.
-	blobs := make([]string, len(g.msgs))
 	for i := range g.msgs {
-		if g.msgs[i].enc == "" {
-			me := sm.NewEncoder()
-			g.msgs[i].encode(me)
-			g.msgs[i].enc = string(me.Bytes())
-		}
-		blobs[i] = g.msgs[i].enc
+		e := sm.NewEncoder()
+		g.msgs[i].encode(e)
+		sum += e.DomainHash(domainMsg)
 	}
-	sort.Strings(blobs)
-	e.Uint32(uint32(len(blobs)))
-	for _, b := range blobs {
-		e.String(b)
-	}
-	// Stale pairs, sorted.
-	stale := make([]pair, 0, len(g.stale))
 	for p, ok := range g.stale {
 		if ok {
-			stale = append(stale, p)
+			sum += staleComp(p)
 		}
 	}
-	sort.Slice(stale, func(i, j int) bool {
-		if stale[i].a != stale[j].a {
-			return stale[i].a < stale[j].a
-		}
-		return stale[i].b < stale[j].b
-	})
-	e.Uint32(uint32(len(stale)))
-	for _, p := range stale {
-		e.NodeID(p.a)
-		e.NodeID(p.b)
+	sum += resetsComp(g.resets)
+	if sum == 0 {
+		return 1
 	}
-	h := e.Hash()
-	if h == 0 {
-		h = 1 // reserve 0 as the "not computed" sentinel
-	}
-	g.hash = h
-	return h
+	return sum
 }
 
 // EncodedSize approximates the state's in-memory footprint for the memory
@@ -240,7 +341,8 @@ func (g *GState) EncodedSize() int {
 }
 
 // shallowClone copies the state's containers but shares all node states and
-// messages; callers then replace what the event changes.
+// messages; callers then replace what the event changes, keeping the
+// inherited fingerprint in sync through the mutation helpers.
 func (g *GState) shallowClone() *GState {
 	nodes := make(map[sm.NodeID]*NodeState, len(g.nodes))
 	for id, ns := range g.nodes {
@@ -254,12 +356,12 @@ func (g *GState) shallowClone() *GState {
 			stale[p] = true
 		}
 	}
-	return &GState{nodes: nodes, msgs: msgs, stale: stale, resets: g.resets}
+	return &GState{nodes: nodes, msgs: msgs, stale: stale, resets: g.resets, hsum: g.hsum}
 }
 
 // MarkStale records that `from` holds a stale socket to `peer` (peer reset
 // while from was connected); exported for tests and snapshot integration.
-func (g *GState) MarkStale(from, peer sm.NodeID) { g.stale[pair{from, peer}] = true }
+func (g *GState) MarkStale(from, peer sm.NodeID) { g.setStale(pair{from, peer}) }
 
 // Stale reports whether from's socket to peer is stale.
 func (g *GState) Stale(from, peer sm.NodeID) bool { return g.stale[pair{from, peer}] }

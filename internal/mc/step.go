@@ -3,6 +3,7 @@ package mc
 import (
 	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"crystalball/internal/sm"
 )
@@ -47,7 +48,11 @@ func edgeRNG(seed int64, g *GState, ev sm.Event) *rand.Rand {
 
 // apply executes event ev on state g and returns the successor state, or
 // nil when the event is not applicable (e.g. delivering a message that is
-// not in flight). g itself is never mutated.
+// not in flight). g itself is never mutated. Every successor constructor
+// below maintains the state fingerprint incrementally: the mutation helpers
+// (addMsg/removeMsgAt/setStale/clearStale/bumpResets) and the node swap in
+// runHandler each adjust the commutative hash sum in O(1), so a successor's
+// Hash is ready in O(changed components) when apply returns.
 func (s *Search) apply(g *GState, ev sm.Event) *GState {
 	switch e := ev.(type) {
 	case sm.MsgEvent:
@@ -106,11 +111,11 @@ func (s *Search) dispatchSends(next *GState, ctx *mcContext) {
 			// Stale socket discovered: message lost, sender will
 			// observe a transport error; the pair is fresh again
 			// afterwards (next send reconnects).
-			delete(next.stale, pair{sd.From, sd.To})
-			next.msgs = append(next.msgs, InFlight{From: sd.To, To: sd.From, Msg: nil})
+			next.clearStale(pair{sd.From, sd.To})
+			next.addMsg(InFlight{From: sd.To, To: sd.From, Msg: nil})
 			continue
 		}
-		next.msgs = append(next.msgs, sd)
+		next.addMsg(sd)
 	}
 }
 
@@ -122,9 +127,14 @@ func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, run func(ctx
 	next := g.shallowClone()
 	cloned := ns.clone()
 	next.nodes[node] = cloned
+	next.hsum -= ns.chash
 	ctx := &mcContext{self: node, ns: cloned, rng: edgeRNG(s.cfg.Seed, g, ev)}
 	run(ctx)
 	s.dispatchSends(next, ctx)
+	// All mutations applied: freeze the clone's encoding/hashes and fold
+	// its component back into the fingerprint.
+	cloned.finalize(node)
+	next.hsum += cloned.chash
 	return next
 }
 
@@ -140,8 +150,9 @@ func (s *Search) applyMessage(g *GState, e sm.MsgEvent) *GState {
 	if next == nil {
 		return nil
 	}
-	// Remove the consumed message (runHandler copied the slice).
-	next.msgs = removeMsg(next.msgs, i)
+	// Remove the consumed message (runHandler copied the slice; handler
+	// sends only append, so index i is still valid).
+	next.removeMsgAt(i)
 	return next
 }
 
@@ -176,7 +187,7 @@ func (s *Search) applyError(g *GState, e sm.ErrorEvent) *GState {
 		return nil
 	}
 	if i >= 0 {
-		next.msgs = removeMsg(next.msgs, i)
+		next.removeMsgAt(i)
 	}
 	return next
 }
@@ -187,7 +198,7 @@ func (s *Search) applyDrop(g *GState, e sm.DropEvent) *GState {
 		return nil
 	}
 	next := g.shallowClone()
-	next.msgs = removeMsg(next.msgs, i)
+	next.removeMsgAt(i)
 	return next
 }
 
@@ -207,24 +218,29 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 		return nil
 	}
 	next := g.shallowClone()
-	next.resets++
+	next.bumpResets()
 	// Drop in-flight traffic touching the node.
 	kept := next.msgs[:0]
 	for _, m := range next.msgs {
 		if m.From != e.At && m.To != e.At {
 			kept = append(kept, m)
+		} else {
+			next.hsum -= m.chash
 		}
 	}
 	next.msgs = kept
 	// Peers that knew the node hold stale sockets and receive racing RSTs.
-	for id, peer := range next.nodes {
+	// Iterate in sorted node order: the append order becomes the
+	// successor's in-flight order, which event enumeration (and so
+	// same-seed random walks) must see identically every run.
+	for _, id := range next.Nodes() {
 		if id == e.At {
 			continue
 		}
-		for _, nb := range peer.Svc.Neighbors() {
+		for _, nb := range next.nodes[id].Svc.Neighbors() {
 			if nb == e.At {
-				next.stale[pair{id, e.At}] = true
-				next.msgs = append(next.msgs, InFlight{From: e.At, To: id, Msg: nil})
+				next.setStale(pair{id, e.At})
+				next.addMsg(InFlight{From: e.At, To: id, Msg: nil})
 				break
 			}
 		}
@@ -232,7 +248,7 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 	// The reset node has no stale knowledge of anyone.
 	for p := range next.stale {
 		if p.a == e.At {
-			delete(next.stale, p)
+			next.clearStale(p)
 		}
 	}
 	// Fresh service, re-initialised; disk contents survive the crash.
@@ -245,9 +261,12 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 		ss.RestoreStable(stable)
 	}
 	next.nodes[e.At] = fresh
+	next.hsum -= ns.chash
 	ctx := &mcContext{self: e.At, ns: fresh, rng: edgeRNG(s.cfg.Seed, g, e)}
 	fresh.Svc.Init(ctx)
 	s.dispatchSends(next, ctx)
+	fresh.finalize(e.At)
+	next.hsum += fresh.chash
 	return next
 }
 
@@ -256,6 +275,9 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 // RST drops) and internal-action events per node (H_A: timers, application
 // calls, resets). Consequence prediction prunes only the latter. It only
 // reads g, so concurrent workers may enumerate a shared state freely.
+// Enumeration order is deterministic — in-flight slice order for H_M,
+// sorted timer ids then model app calls, reset and conn-break events for
+// H_A — so same-seed explorations pick the same transitions every run.
 func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
 	seenMsg := make(map[string]bool)
 	for _, m := range g.msgs {
@@ -283,8 +305,17 @@ func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.N
 	for _, id := range g.Nodes() {
 		ns := g.nodes[id]
 		var evs []sm.Event
-		for t := range ns.Timers {
-			evs = append(evs, sm.TimerEvent{At: id, Timer: t})
+		// Sorted timer ids: map iteration order must not leak into the
+		// transition order same-seed runs replay.
+		timers := make([]string, 0, len(ns.Timers))
+		for t, ok := range ns.Timers {
+			if ok {
+				timers = append(timers, string(t))
+			}
+		}
+		sort.Strings(timers)
+		for _, t := range timers {
+			evs = append(evs, sm.TimerEvent{At: id, Timer: sm.TimerID(t)})
 		}
 		if ma, ok := ns.Svc.(sm.ModelActions); ok {
 			for _, call := range ma.ModelAppCalls() {

@@ -75,7 +75,6 @@ func (walkStrategy) Name() string { return "random-walk" }
 
 func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
 	began := time.Now()
-	start.Hash() // finalise shared encoding caches before fan-out
 	bdg := newBudget(s.cfg.Stop(), began)
 	coll := newCollector(s.cfg.MaxViolations)
 	// seen dedups reports by (violating state, signature): the same state
@@ -167,7 +166,6 @@ func runWalk(s *Search, start *GState, walk int, bdg *budget, coll *collector,
 		if next == nil {
 			return
 		}
-		next.Hash() // finalise caches; walks stay goroutine-local otherwise
 		transitions.Add(1)
 		node = &searchNode{state: next, parent: node, event: chosen, depth: node.depth + 1}
 	}

@@ -38,6 +38,20 @@ func (e *Encoder) Hash() uint64 {
 	return h.Sum64()
 }
 
+// DomainHash returns the FNV-64a hash of the domain byte followed by the
+// encoded bytes. The model checker's commutative state fingerprint hashes
+// each state component (node, message, stale pair, resets counter) under a
+// distinct domain tag so equal byte strings in different roles cannot
+// cancel or collide across component types.
+func (e *Encoder) DomainHash(domain byte) uint64 {
+	h := fnv.New64a()
+	var d [1]byte
+	d[0] = domain
+	h.Write(d[:])
+	h.Write(e.buf)
+	return h.Sum64()
+}
+
 // Uint64 appends v big-endian.
 func (e *Encoder) Uint64(v uint64) {
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)

@@ -10,14 +10,13 @@ import (
 	"testing"
 	"time"
 
-	"crystalball/internal/controller"
 	"crystalball/internal/experiments"
 	"crystalball/internal/mc"
 	"crystalball/internal/props"
 	"crystalball/internal/runtime"
-	"crystalball/internal/services/chord"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
 	"crystalball/internal/simnet"
 	"crystalball/internal/sm"
 	"crystalball/internal/snapshot"
@@ -194,26 +193,23 @@ func searchFormedTree(mode mc.Mode, states, workers int) *mc.Result {
 
 // BenchmarkSnapshotCollection measures a full neighborhood snapshot round.
 func BenchmarkSnapshotCollection(b *testing.B) {
-	s := sim.New(1)
-	net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
-	factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}, Fixes: chord.AllFixes})
-	var nodes []*runtime.Node
-	var mgrs []*snapshot.Manager
-	for i := 1; i <= 10; i++ {
-		node := runtime.NewNode(s, net, sm.NodeID(i), factory)
-		nodes = append(nodes, node)
-		mgrs = append(mgrs, snapshot.NewManager(s, node, snapshot.DefaultConfig()))
+	d, err := scenario.Deploy("chord", scenario.DeployOptions{
+		Seed:        1,
+		Service:     scenario.Options{Nodes: 10, Fixed: true},
+		Path:        simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9},
+		Control:     scenario.Bare,
+		Checkpoints: true,
+		Workload:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
-	for i, node := range nodes {
-		node := node
-		s.After(time.Duration(i)*500*time.Millisecond, func() { node.App(chord.AppJoin{}) })
-	}
-	s.RunFor(30 * time.Second)
+	d.Sim.RunFor(30 * time.Second)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		done := false
-		mgrs[0].Collect(nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) { done = true })
-		s.RunFor(3 * time.Second)
+		d.Mgrs[0].Collect(d.Nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) { done = true })
+		d.Sim.RunFor(3 * time.Second)
 		if !done {
 			b.Fatal("collection did not finish")
 		}
@@ -269,52 +265,56 @@ func BenchmarkAblationCompression(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s := sim.New(int64(i + 1))
-				net := simnet.New(s, simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9})
-				factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}, Fixes: chord.AllFixes})
 				snapCfg := snapshot.DefaultConfig()
 				snapCfg.Compress = compress
-				var nodes []*runtime.Node
-				var mgrs []*snapshot.Manager
-				for j := 1; j <= 8; j++ {
-					node := runtime.NewNode(s, net, sm.NodeID(j), factory)
-					nodes = append(nodes, node)
-					mgrs = append(mgrs, snapshot.NewManager(s, node, snapCfg))
+				d, err := scenario.Deploy("chord", scenario.DeployOptions{
+					Seed:        int64(i + 1),
+					Service:     scenario.Options{Nodes: 8, Fixed: true},
+					Path:        simnet.UniformPath{Latency: 5 * time.Millisecond, BwBps: 1e9},
+					Control:     scenario.Bare,
+					Snapshot:    &snapCfg,
+					Checkpoints: true,
+					Workload:    true,
+				})
+				if err != nil {
+					b.Fatal(err)
 				}
-				for j, node := range nodes {
-					node := node
-					s.After(time.Duration(j)*400*time.Millisecond, func() { node.App(chord.AppJoin{}) })
-				}
-				s.RunFor(15 * time.Second)
+				d.Sim.RunFor(15 * time.Second)
 				for k := 0; k < 5; k++ {
-					mgrs[0].Collect(nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) {})
-					s.RunFor(3 * time.Second)
+					d.Mgrs[0].Collect(d.Nodes[0].Service().Neighbors(), func(*snapshot.Snapshot) {})
+					d.Sim.RunFor(3 * time.Second)
 				}
-				b.ReportMetric(float64(net.TotalBytesOut(simnet.KindCheckpoint)), "ckpt-bytes")
+				b.ReportMetric(float64(d.Net.TotalBytesOut(simnet.KindCheckpoint)), "ckpt-bytes")
 			}
 		})
 	}
 }
 
-// steeringArm runs a short protected churn window for the ablations.
+// steeringArm runs a short protected churn window for the ablations. The
+// rarely-used controller knobs (filter-safety recheck, path replay) are
+// tweaked on a scenario-derived controller config and installed verbatim.
 func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
 	FiltersInstalled   int64
 	InconsistentStates int64
 } {
-	s := sim.New(seed)
-	n := 8
-	ids := make([]sm.NodeID, n)
-	for i := range ids {
-		ids[i] = sm.NodeID(i + 1)
+	sc := scenario.MustLookup("randtree")
+	opts := scenario.DeployOptions{
+		Seed:     seed,
+		Service:  scenario.Options{Nodes: 8},
+		Control:  scenario.Steering,
+		MCStates: 3000,
 	}
-	factory := randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 3})
-	ctrl := controller.DefaultConfig(randtree.Properties, factory)
-	ctrl.Mode = controller.ExecutionSteering
-	ctrl.MCStates = 3000
+	ctrl, err := sc.ControllerConfig(opts)
+	if err != nil {
+		panic(err)
+	}
 	ctrl.CheckFilterSafety = checkFilterSafety
 	ctrl.ReplayPaths = replay
-	d := experiments.Deploy(s, simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8},
-		n, factory, &ctrl, experiments.SnapCfg())
+	opts.Controller = &ctrl
+	d, err := sc.Deploy(opts)
+	if err != nil {
+		panic(err)
+	}
 
 	var out struct {
 		FiltersInstalled   int64
@@ -326,10 +326,10 @@ func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
 				out.InconsistentStates++
 			}
 		}
-		node.App(randtree.AppJoin{})
 	}
-	experiments.Churn(s, d, 40*time.Second, func(*sm.NodeID) sm.AppCall { return randtree.AppJoin{} })
-	s.RunFor(4 * time.Minute)
+	d.StartWorkload()
+	d.StartChurn(40 * time.Second)
+	d.Sim.RunFor(4 * time.Minute)
 	for _, c := range d.Ctrls {
 		out.FiltersInstalled += c.Stats.FiltersInstalled
 	}
@@ -428,20 +428,24 @@ func formedTree(n int) (sm.Factory, *mc.GState) {
 // BenchmarkISCSpeculation measures the immediate safety check's per-event
 // cost (clone + speculative handler + property check).
 func BenchmarkISCSpeculation(b *testing.B) {
-	s := sim.New(1)
-	net := simnet.New(s, simnet.UniformPath{Latency: time.Millisecond, BwBps: 1e9})
-	factory := randtree.New(randtree.Config{Bootstrap: []sm.NodeID{1}})
-	n1 := runtime.NewNode(s, net, 1, factory)
-	n1.App(randtree.AppJoin{})
-	n2 := runtime.NewNode(s, net, 2, factory)
-	n2.App(randtree.AppJoin{})
-	s.RunFor(10 * time.Second)
+	d, err := scenario.Deploy("randtree", scenario.DeployOptions{
+		Seed:     1,
+		Service:  scenario.Options{Nodes: 2},
+		Path:     simnet.UniformPath{Latency: time.Millisecond, BwBps: 1e9},
+		Control:  scenario.Bare,
+		Workload: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n1 := d.Nodes[0]
+	d.Sim.RunFor(10 * time.Second)
 	n1.EnableISC(randtree.Properties, func() *props.View { return props.NewView() })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Drive a message through the ISC path.
-		net.Send(2, 1, runtime.Envelope{Msg: randtree.Probe{}}, 12, simnet.KindService)
-		s.RunFor(10 * time.Millisecond)
+		d.Net.Send(2, 1, runtime.Envelope{Msg: randtree.Probe{}}, 12, simnet.KindService)
+		d.Sim.RunFor(10 * time.Millisecond)
 	}
 	if n1.Stats.ISCChecks == 0 {
 		b.Fatal("ISC never engaged")

@@ -1,119 +1,83 @@
-// Command crystalball runs a simulated CrystalBall deployment of one of
-// the evaluated services — RandTree, Chord, Bullet′ or Paxos — with
-// per-node controllers in deep-online-debugging or execution-steering mode,
-// and prints the predictions, installed filters and runtime statistics.
+// Command crystalball runs a simulated CrystalBall deployment of any
+// registered scenario — RandTree, Chord, Bullet′ or Paxos — with per-node
+// controllers in deep-online-debugging or execution-steering mode, and
+// prints the predictions, installed filters and runtime statistics.
 //
 // Usage:
 //
+//	crystalball -list
 //	crystalball -service randtree -nodes 25 -mode steering -duration 10m
-//	crystalball -service chord -nodes 12 -mode debug -duration 20m
+//	crystalball -service bulletprime -nodes 8 -mode debug -duration 20m
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crystalball/internal/controller"
-	"crystalball/internal/experiments"
-	"crystalball/internal/props"
-	"crystalball/internal/services/bulletprime"
-	"crystalball/internal/services/chord"
-	"crystalball/internal/services/paxos"
-	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
-	"crystalball/internal/simnet"
-	"crystalball/internal/sm"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 )
 
 func main() {
 	var (
-		service  = flag.String("service", "randtree", "service (randtree|chord|bullet|paxos)")
+		service  = flag.String("service", "randtree", "scenario to deploy (see -list)")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		variant  = flag.String("variant", "", "scenario variant (e.g. paxos: bug1|bug2)")
 		nodes    = flag.Int("nodes", 12, "number of nodes")
 		mode     = flag.String("mode", "debug", "controller mode (debug|steering)")
 		duration = flag.Duration("duration", 10*time.Minute, "virtual run time")
 		churn    = flag.Duration("churn", time.Minute, "mean time between resets (0 = none)")
 		mcStates = flag.Int("mcstates", 10000, "consequence-prediction state budget per round")
+		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		fixed    = flag.Bool("fixed", false, "run the bug-fixed service variants")
 		verbose  = flag.Bool("v", false, "print each prediction's event path")
 	)
 	flag.Parse()
 
-	ids := make([]sm.NodeID, *nodes)
-	for i := range ids {
-		ids[i] = sm.NodeID(i + 1)
+	if *list {
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Lookup(name)
+			fmt.Printf("%-12s %s\n", name, sc.Description)
+		}
+		return
 	}
 
-	var factory sm.Factory
-	var ps props.Set
-	var join func() sm.AppCall
-	switch *service {
-	case "randtree":
-		fixes := randtree.Fix(0)
-		if *fixed {
-			fixes = randtree.AllFixes
-		}
-		factory = randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 3, Fixes: fixes})
-		ps = randtree.Properties
-		join = func() sm.AppCall { return randtree.AppJoin{} }
-	case "chord":
-		fixes := chord.Fix(0)
-		if *fixed {
-			fixes = chord.AllFixes
-		}
-		factory = chord.New(chord.Config{Bootstrap: ids[:1], Fixes: fixes})
-		ps = chord.Properties
-		join = func() sm.AppCall { return chord.AppJoin{} }
-	case "bullet":
-		fixes := bulletprime.Fix(0)
-		if *fixed {
-			fixes = bulletprime.AllFixes
-		}
-		factory = bulletprime.New(bulletprime.Config{
-			Members: ids, Source: ids[0], Blocks: 32, BlockSize: 64 << 10, Fixes: fixes,
-		})
-		ps = bulletprime.DebugProperties
-	case "paxos":
-		factory = paxos.New(paxos.Config{Members: ids, Bug1: !*fixed})
-		ps = paxos.Properties
-	default:
-		fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+	sc, ok := scenario.Lookup(*service)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown service %q (registered: %s)\n",
+			*service, strings.Join(scenario.Names(), ", "))
 		os.Exit(2)
 	}
 
-	s := sim.New(*seed)
-	ctrl := controller.DefaultConfig(ps, factory)
-	ctrl.MCStates = *mcStates
+	control := scenario.Debug
+	ctrlMode := controller.DeepOnlineDebugging
 	if *mode == "steering" {
-		ctrl.Mode = controller.ExecutionSteering
-	} else {
-		ctrl.Mode = controller.DeepOnlineDebugging
-		ctrl.EnableISC = false
+		control = scenario.Steering
+		ctrlMode = controller.ExecutionSteering
 	}
-	path := simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
-	d := experiments.Deploy(s, path, *nodes, factory, &ctrl, experiments.SnapCfg())
 
-	for i, node := range d.Nodes {
-		if join == nil {
-			continue
-		}
-		node := node
-		s.After(time.Duration(i)*700*time.Millisecond, func() { node.App(join()) })
-	}
-	if *churn > 0 {
-		experiments.Churn(s, d, *churn, func(*sm.NodeID) sm.AppCall {
-			if join == nil {
-				return nil
-			}
-			return join()
-		})
+	d, err := sc.Deploy(scenario.DeployOptions{
+		Seed:     *seed,
+		Service:  scenario.Options{Nodes: *nodes, Fixed: *fixed, Variant: *variant},
+		Control:  control,
+		MCStates: *mcStates,
+		Workers:  *workers,
+		Workload: true,
+		Churn:    *churn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	fmt.Printf("running %s with %d nodes for %v (mode=%s, fixed=%v)\n",
-		*service, *nodes, *duration, ctrl.Mode, *fixed)
-	s.RunFor(*duration)
+		sc.Name, len(d.Nodes), *duration, ctrlMode, *fixed)
+	d.Sim.RunFor(*duration)
 
 	findings := d.TotalFindings()
 	distinct := controller.DistinctFindings(findings)
@@ -141,9 +105,9 @@ func main() {
 	fmt.Printf("\nrounds=%d statesExplored=%d filtersInstalled=%d unhelpful=%d\n",
 		rounds, states, filters, unhelpful)
 	fmt.Printf("actions=%d blocked=%d\n", actions, blocked)
-	if ok := ps.Holds(d.View()); ok {
+	if ok := d.Props.Holds(d.View()); ok {
 		fmt.Println("final global state: consistent")
 	} else {
-		fmt.Printf("final global state: VIOLATES %v\n", ps.Check(d.View()))
+		fmt.Printf("final global state: VIOLATES %v\n", d.Props.Check(d.View()))
 	}
 }

@@ -1,32 +1,34 @@
 // Command mcheck is the offline model checker (the MaceMC-equivalent
-// baseline): it explores a service from its initial state with exhaustive
-// search, consequence prediction, or random walks, and reports any safety
-// violations it finds with their event paths.
+// baseline): it explores a registered scenario from its initial state with
+// exhaustive search, consequence prediction, or random walks, and reports
+// any safety violations it finds with their event paths.
 //
 // Usage:
 //
+//	mcheck -list
 //	mcheck -service randtree -nodes 5 -mode exhaustive -maxdepth 8
 //	mcheck -service chord -mode consequence -resets -states 200000
-//	mcheck -service paxos -mode random-walk -walks 500
+//	mcheck -service paxos -variant bug1 -mode random-walk -walks 500
+//	mcheck -service bulletprime -nodes 3 -mode exhaustive -states 50000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crystalball/internal/mc"
-	"crystalball/internal/props"
-	"crystalball/internal/services/chord"
-	"crystalball/internal/services/paxos"
-	"crystalball/internal/services/randtree"
-	"crystalball/internal/sm"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 )
 
 func main() {
 	var (
-		service    = flag.String("service", "randtree", "service to check (randtree|chord|paxos)")
+		service    = flag.String("service", "randtree", "scenario to check (see -list)")
+		list       = flag.Bool("list", false, "list registered scenarios and exit")
+		variant    = flag.String("variant", "", "scenario variant (e.g. paxos: bug1|bug2)")
 		nodes      = flag.Int("nodes", 5, "number of nodes in the initial state")
 		mode       = flag.String("mode", "consequence", "search mode (exhaustive|consequence|random-walk)")
 		maxDepth   = flag.Int("maxdepth", 0, "depth bound (0 = unbounded)")
@@ -43,33 +45,18 @@ func main() {
 	)
 	flag.Parse()
 
-	ids := make([]sm.NodeID, *nodes)
-	for i := range ids {
-		ids[i] = sm.NodeID(i + 1)
+	if *list {
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Lookup(name)
+			fmt.Printf("%-12s %s\n", name, sc.Description)
+		}
+		return
 	}
 
-	var factory sm.Factory
-	var ps props.Set
-	switch *service {
-	case "randtree":
-		fixes := randtree.Fix(0)
-		if *fixed {
-			fixes = randtree.AllFixes
-		}
-		factory = randtree.New(randtree.Config{Bootstrap: ids[:1], Fixes: fixes})
-		ps = randtree.Properties
-	case "chord":
-		fixes := chord.Fix(0)
-		if *fixed {
-			fixes = chord.AllFixes
-		}
-		factory = chord.New(chord.Config{Bootstrap: ids[:1], Fixes: fixes})
-		ps = chord.Properties
-	case "paxos":
-		factory = paxos.New(paxos.Config{Members: ids, Bug1: !*fixed, Bug2: !*fixed})
-		ps = paxos.Properties
-	default:
-		fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+	sc, ok := scenario.Lookup(*service)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown service %q (registered: %s)\n",
+			*service, strings.Join(scenario.Names(), ", "))
 		os.Exit(2)
 	}
 
@@ -86,28 +73,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	g := mc.NewGState()
-	for _, id := range ids {
-		g.AddNode(id, factory(id), nil)
-	}
-	search := mc.NewSearch(mc.Config{
-		Props:             ps,
-		Factory:           factory,
-		Mode:              m,
-		Workers:           *workers,
-		MaxDepth:          *maxDepth,
-		MaxStates:         *maxStates,
-		MaxWall:           *maxWall,
-		MaxViolations:     *maxViol,
-		ExploreResets:     *resets,
-		ExploreConnBreaks: *connBreaks,
-		Walks:             *walks,
-		WalkDepth:         *walkDepth,
-		Seed:              *seed,
+	g, cfg, err := sc.InitialState(scenario.Options{
+		Nodes:   *nodes,
+		Fixed:   *fixed,
+		Variant: *variant,
 	})
-	res := search.Run(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Mode = m
+	cfg.Workers = *workers
+	cfg.MaxDepth = *maxDepth
+	cfg.MaxStates = *maxStates
+	cfg.MaxWall = *maxWall
+	cfg.MaxViolations = *maxViol
+	cfg.ExploreResets = *resets
+	cfg.ExploreConnBreaks = *connBreaks
+	cfg.Walks = *walks
+	cfg.WalkDepth = *walkDepth
+	cfg.Seed = *seed
+	res := mc.NewSearch(cfg).Run(g)
 
-	fmt.Printf("mode=%s service=%s nodes=%d workers=%d\n", m, *service, *nodes, res.Workers)
+	fmt.Printf("mode=%s service=%s nodes=%d workers=%d\n", m, sc.Name, *nodes, res.Workers)
 	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v mem=%dB (%.0f B/state) states/sec=%.0f\n",
 		res.StatesExplored, res.Transitions, res.MaxDepthReached, res.Elapsed.Round(time.Millisecond),
 		res.PeakMemoryBytes, res.PerStateBytes,

@@ -4,41 +4,41 @@
 // CrystalBall predicting the safety violation and steering around it,
 // with the immediate safety check as fallback.
 //
+// The deployment — controllers, checkpointing, network — comes from the
+// paxos scenario's registry entry (variant "bug1"); only the staged
+// partition schedule is written by hand.
+//
 //	go run ./examples/paxos-steering
 package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
-	"crystalball/internal/controller"
-	"crystalball/internal/experiments"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 	"crystalball/internal/services/paxos"
-	"crystalball/internal/sim"
-	"crystalball/internal/simnet"
-	"crystalball/internal/sm"
 )
 
 func main() {
-	members := []sm.NodeID{1, 2, 3}
 	run := func(protected bool, gap time.Duration) {
-		s := sim.New(11)
-		factory := paxos.New(paxos.Config{Members: members, Bug1: true})
-
-		var ctrlCfg *controller.Config
+		control := scenario.Bare
 		if protected {
-			cfg := controller.DefaultConfig(paxos.Properties, factory)
-			cfg.Mode = controller.ExecutionSteering
-			cfg.MCStates = 15000
-			cfg.SnapshotInterval = 3 * time.Second
-			ctrlCfg = &cfg
+			control = scenario.Steering
 		}
-		snapCfg := experiments.SnapCfg()
-		snapCfg.Interval = 3 * time.Second
-		path := simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
-		d := experiments.Deploy(s, path, len(members), factory, ctrlCfg, snapCfg)
+		d, err := scenario.Deploy("paxos", scenario.DeployOptions{
+			Seed:             11,
+			Service:          scenario.Options{Variant: "bug1"},
+			Control:          control,
+			MCStates:         15000,
+			SnapshotInterval: 3 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := d.Sim
 		a, b, c := d.Nodes[0], d.Nodes[1], d.Nodes[2]
-		_ = c
 
 		// Round 1: C is partitioned away; A proposes 0 and it is
 		// chosen by {A, B}.
@@ -63,7 +63,7 @@ func main() {
 		if protected {
 			label = "CrystalBall"
 		}
-		if paxos.Properties.Holds(d.View()) {
+		if d.Props.Holds(d.View()) {
 			fmt.Printf("%-12s gap=%-4v -> safe (one value chosen)\n", label, gap)
 		} else {
 			fmt.Printf("%-12s gap=%-4v -> VIOLATION (two values chosen)\n", label, gap)

@@ -3,70 +3,63 @@
 // inconsistencies of the shipped (buggy) implementation — the paper's
 // Figure 2 bug class among them.
 //
+// The whole stack — simulated clock and network, per-node runtime,
+// checkpointing, one controller per node — comes from the scenario
+// registry: look the service up, describe the deployment, run.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"crystalball/internal/controller"
-	"crystalball/internal/runtime"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
-	"crystalball/internal/simnet"
-	"crystalball/internal/sm"
-	"crystalball/internal/snapshot"
 )
 
 func main() {
 	// 1. A deterministic simulated deployment: 6 nodes on a uniform
-	//    20 ms network.
-	s := sim.New(7)
-	net := simnet.New(s, simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8})
-	ids := []sm.NodeID{1, 2, 3, 4, 5, 6}
+	//    20 ms network, running RandTree as shipped (bugs present) with
+	//    a tight degree bound, one debugging controller per node, and
+	//    the scenario's join workload issued at start-up.
+	d, err := scenario.Deploy("randtree", scenario.DeployOptions{
+		Seed:     7,
+		Service:  scenario.Options{Nodes: 6, Degree: 2},
+		Control:  scenario.Debug,
+		MCStates: 8000,
+		Workload: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// 2. The service under test: RandTree as shipped (bugs present).
-	factory := randtree.New(randtree.Config{Bootstrap: ids[:1], MaxChildren: 2})
-
-	// 3. One CrystalBall controller per node: consistent neighborhood
-	//    snapshots every 10 s, consequence prediction over them, reports
-	//    on violation of the paper's four RandTree safety properties.
-	cfg := controller.DefaultConfig(randtree.Properties, factory)
-	cfg.Mode = controller.DeepOnlineDebugging
-	cfg.MCStates = 8000
-	cfg.EnableISC = false
-
-	var ctrls []*controller.Controller
-	for _, id := range ids {
-		node := runtime.NewNode(s, net, id, factory)
-		c := controller.New(s, node, cfg, snapshot.DefaultConfig())
+	// 2. Print every prediction as it lands: the violated properties and
+	//    the predicted event path from the live snapshot to the bug.
+	for _, c := range d.Ctrls {
+		c := c
 		c.OnViolation = func(f controller.Finding) {
 			fmt.Printf("[%v] node %v predicts violation of %v, %d steps ahead:\n",
-				s.Now(), c.Node().ID, f.Properties, len(f.Path))
+				d.Sim.Now(), c.Node().ID, f.Properties, len(f.Path))
 			for _, ev := range f.Path {
 				fmt.Printf("    %s\n", ev.Describe())
 			}
 		}
-		c.Start()
-		ctrls = append(ctrls, c)
-
-		node.App(randtree.AppJoin{})
 	}
 
-	// 4. Churn: node 5 silently resets and rejoins — the trigger for the
+	// 3. Churn: node 5 silently resets and rejoins — the trigger for the
 	//    Figure 2 class of inconsistencies.
-	s.After(30*time.Second, func() {
-		fmt.Printf("[%v] node 5 silently resets and rejoins\n", s.Now())
-		ctrls[4].Node().Reset(true)
-		ctrls[4].Node().App(randtree.AppJoin{})
+	d.Sim.After(30*time.Second, func() {
+		fmt.Printf("[%v] node 5 silently resets and rejoins\n", d.Sim.Now())
+		d.Nodes[4].Reset(true)
+		d.Nodes[4].App(randtree.AppJoin{})
 	})
 
-	s.RunFor(3 * time.Minute)
+	d.Sim.RunFor(3 * time.Minute)
 
-	total := 0
-	for _, c := range ctrls {
-		total += len(c.Findings())
-	}
-	fmt.Printf("\n%d predictions across %d nodes in 3 virtual minutes\n", total, len(ids))
+	total := len(d.TotalFindings())
+	fmt.Printf("\n%d predictions across %d nodes in 3 virtual minutes\n", total, len(d.Nodes))
 }

@@ -24,6 +24,7 @@
 package controller
 
 import (
+	"fmt"
 	"time"
 
 	"crystalball/internal/mc"
@@ -47,10 +48,16 @@ const (
 )
 
 func (m Mode) String() string {
-	if m == ExecutionSteering {
+	switch m {
+	case DeepOnlineDebugging:
+		return "deep-online-debugging"
+	case ExecutionSteering:
 		return "execution-steering"
+	default:
+		// An unknown mode is a configuration bug; report it instead of
+		// silently rendering it as one of the real modes.
+		return fmt.Sprintf("unknown-mode(%d)", int(m))
 	}
-	return "deep-online-debugging"
 }
 
 // Config parameterises a controller.
@@ -75,6 +82,13 @@ type Config struct {
 	PerStateCost time.Duration
 	// ExploreResets lets the checker consider node-reset faults.
 	ExploreResets bool
+	// ExploreConnBreaks lets the checker consider spontaneous
+	// connection-break faults (the Chord Figure 10 class hinges on
+	// them).
+	ExploreConnBreaks bool
+	// MaxResetsPerPath bounds resets along one predicted path (0 =
+	// checker default).
+	MaxResetsPerPath int
 	// EnableISC turns on the immediate safety check as a fallback.
 	EnableISC bool
 	// CheckFilterSafety re-runs consequence prediction with a candidate
@@ -245,15 +259,17 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	c.lastView = view
 
 	searchCfg := mc.Config{
-		Props:         c.cfg.Props,
-		Factory:       c.cfg.Factory,
-		Mode:          mc.Consequence,
-		Workers:       c.cfg.Workers,
-		MaxStates:     c.cfg.MCStates,
-		MaxDepth:      c.cfg.MCDepth,
-		ExploreResets: c.cfg.ExploreResets,
-		MaxViolations: 8,
-		Seed:          c.cfg.Seed,
+		Props:             c.cfg.Props,
+		Factory:           c.cfg.Factory,
+		Mode:              mc.Consequence,
+		Workers:           c.cfg.Workers,
+		MaxStates:         c.cfg.MCStates,
+		MaxDepth:          c.cfg.MCDepth,
+		ExploreResets:     c.cfg.ExploreResets,
+		ExploreConnBreaks: c.cfg.ExploreConnBreaks,
+		MaxResetsPerPath:  c.cfg.MaxResetsPerPath,
+		MaxViolations:     8,
+		Seed:              c.cfg.Seed,
 	}
 
 	// A snapshot identical to the last fully-searched one cannot yield

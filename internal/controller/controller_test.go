@@ -204,3 +204,21 @@ func TestISCWiredThroughController(t *testing.T) {
 		t.Fatalf("ISC failed to protect node 2: N=%d", got)
 	}
 }
+
+// TestModeStringReportsUnknown: the two real modes render their names and
+// any other value is reported explicitly instead of masquerading as
+// deep-online-debugging.
+func TestModeStringReportsUnknown(t *testing.T) {
+	if got := DeepOnlineDebugging.String(); got != "deep-online-debugging" {
+		t.Fatalf("DeepOnlineDebugging = %q", got)
+	}
+	if got := ExecutionSteering.String(); got != "execution-steering" {
+		t.Fatalf("ExecutionSteering = %q", got)
+	}
+	if got := Mode(7).String(); got != "unknown-mode(7)" {
+		t.Fatalf("Mode(7) = %q, want unknown-mode(7)", got)
+	}
+	if got := Mode(-1).String(); got != "unknown-mode(-1)" {
+		t.Fatalf("Mode(-1) = %q, want unknown-mode(-1)", got)
+	}
+}

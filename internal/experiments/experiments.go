@@ -11,31 +11,14 @@ import (
 	"fmt"
 	"time"
 
-	"crystalball/internal/controller"
 	"crystalball/internal/mc"
 	"crystalball/internal/props"
-	"crystalball/internal/runtime"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
 	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
-	"crystalball/internal/simnet"
 	"crystalball/internal/sm"
-	"crystalball/internal/snapshot"
 	"crystalball/internal/stats"
 )
-
-// ids returns node ids 1..n.
-func ids(n int) []sm.NodeID {
-	out := make([]sm.NodeID, n)
-	for i := range out {
-		out[i] = sm.NodeID(i + 1)
-	}
-	return out
-}
-
-// lanPath is the uniform path model used by the small staged scenarios.
-func lanPath() simnet.UniformPath {
-	return simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
-}
 
 // ----------------------------------------------------------------------------
 // Figure 12: exhaustive-search (MaceMC baseline) elapsed time vs depth.
@@ -90,23 +73,18 @@ func Fig12Exhaustive(cfg Fig12Config) []DepthPoint {
 // runRandTreeSearch builds an n-node RandTree initial state (all nodes
 // unjoined, ready to issue Join app calls) and runs one search over it.
 func runRandTreeSearch(seed int64, n int, mode mc.Mode, maxDepth, maxStates int, maxWall time.Duration, resets bool, workers int) *mc.Result {
-	factory := randtree.New(randtree.Config{Bootstrap: ids(n)[:1]})
-	g := mc.NewGState()
-	for _, id := range ids(n) {
-		g.AddNode(id, factory(id), nil)
+	g, cfg, err := scenario.InitialState("randtree", scenario.Options{Nodes: n})
+	if err != nil {
+		panic(err)
 	}
-	s := mc.NewSearch(mc.Config{
-		Props:         randtree.Properties,
-		Factory:       factory,
-		Mode:          mode,
-		Workers:       workers,
-		MaxDepth:      maxDepth,
-		MaxStates:     maxStates,
-		MaxWall:       maxWall,
-		ExploreResets: resets,
-		Seed:          seed,
-	})
-	return s.Run(g)
+	cfg.Mode = mode
+	cfg.Workers = workers
+	cfg.MaxDepth = maxDepth
+	cfg.MaxStates = maxStates
+	cfg.MaxWall = maxWall
+	cfg.ExploreResets = resets
+	cfg.Seed = seed
+	return mc.NewSearch(cfg).Run(g)
 }
 
 // FormatDepthPoints renders a depth sweep as a table.
@@ -296,64 +274,7 @@ func FormatDepthComparison(rows []DepthBudgetRow, budget time.Duration) string {
 	return t.String()
 }
 
-// ----------------------------------------------------------------------------
-// Shared deployment helper: n nodes of a service with controllers.
-
-// Deployment is a running simulated CrystalBall deployment.
-type Deployment struct {
-	Sim   *sim.Simulator
-	Net   *simnet.Network
-	Nodes []*runtime.Node
-	Ctrls []*controller.Controller
-}
-
-// Deploy builds a deployment of n nodes running factory, each with a
-// CrystalBall controller when ctrlCfg is non-nil.
-func Deploy(s *sim.Simulator, path simnet.PathModel, n int, factory sm.Factory,
-	ctrlCfg *controller.Config, snapCfg snapshot.Config) *Deployment {
-	net := simnet.New(s, path)
-	d := &Deployment{Sim: s, Net: net}
-	for _, id := range ids(n) {
-		node := runtime.NewNode(s, net, id, factory)
-		d.Nodes = append(d.Nodes, node)
-		if ctrlCfg != nil {
-			cfg := *ctrlCfg
-			cfg.Factory = factory
-			c := controller.New(s, node, cfg, snapCfg)
-			c.Start()
-			d.Ctrls = append(d.Ctrls, c)
-		}
-	}
-	return d
-}
-
-// View builds the ground-truth global view of the deployment.
-func (d *Deployment) View() *props.View {
-	v := props.NewView()
-	for _, node := range d.Nodes {
-		svc, timers := node.View()
-		v.Add(node.ID, svc, timers)
-	}
-	return v
-}
-
-// TotalFindings returns all controller findings.
-func (d *Deployment) TotalFindings() []controller.Finding {
-	var out []controller.Finding
-	for _, c := range d.Ctrls {
-		out = append(out, c.Findings()...)
-	}
-	return out
-}
-
-// SnapCfg returns the checkpointing configuration used across experiments
-// (paper: 10 s checkpoint interval, LZW compression).
-func SnapCfg() snapshot.Config {
-	return snapshot.Config{
-		Interval:       10 * time.Second,
-		Quota:          32,
-		CollectTimeout: 2 * time.Second,
-		Compress:       true,
-		MaxRetries:     1,
-	}
-}
+// The shared deployment helper that used to live here (Deployment, Deploy,
+// Churn, SnapCfg) is now the scenario package's deployment builder: every
+// harness below describes its deployment with scenario.DeployOptions and
+// the registry supplies the stack.

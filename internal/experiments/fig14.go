@@ -3,7 +3,7 @@ package experiments
 import (
 	"time"
 
-	"crystalball/internal/controller"
+	"crystalball/internal/scenario"
 	"crystalball/internal/services/paxos"
 	"crystalball/internal/sim"
 	"crystalball/internal/stats"
@@ -98,24 +98,24 @@ func Fig14Paxos(cfg Fig14Config) []Fig14Result {
 }
 
 // runPaxosScenario stages one Figure 13 run under full CrystalBall
-// protection and classifies the outcome.
+// protection and classifies the outcome. The bug under test is the paxos
+// scenario's variant; resets are only worth exploring for bug 2 (the
+// lost-promise bug), so the scenario's fault model is overridden per bug.
 func runPaxosScenario(seed int64, bug string, gap time.Duration, cfg Fig14Config) Fig14Outcome {
-	s := sim.New(seed)
-	pcfg := paxos.Config{Members: ids(3), Bug1: bug == "bug1", Bug2: bug == "bug2"}
-	factory := paxos.New(pcfg)
-
-	ctrl := controller.DefaultConfig(paxos.Properties, factory)
-	ctrl.Mode = controller.ExecutionSteering
-	ctrl.MCStates = cfg.MCStates
-	ctrl.Workers = cfg.Workers
-	ctrl.PerStateCost = cfg.PerStateCost
-	ctrl.ExploreResets = bug == "bug2"
-	ctrl.EnableISC = true
-	ctrl.SnapshotInterval = 3 * time.Second
-	snapCfg := SnapCfg()
-	snapCfg.Interval = 3 * time.Second
-
-	d := Deploy(s, lanPath(), 3, factory, &ctrl, snapCfg)
+	d, err := scenario.Deploy("paxos", scenario.DeployOptions{
+		Seed:             seed,
+		Service:          scenario.Options{Variant: bug},
+		Control:          scenario.Steering,
+		MCStates:         cfg.MCStates,
+		Workers:          cfg.Workers,
+		PerStateCost:     cfg.PerStateCost,
+		Faults:           &scenario.Faults{ExploreResets: bug == "bug2"},
+		SnapshotInterval: 3 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := d.Sim
 	a, b, c := d.Nodes[0], d.Nodes[1], d.Nodes[2]
 
 	// Round 1: C disconnected; A proposes 0 (chosen by {A, B}).

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"crystalball/internal/controller"
+	"crystalball/internal/scenario"
 	"crystalball/internal/services/bulletprime"
-	"crystalball/internal/sim"
 	"crystalball/internal/simnet"
 	"crystalball/internal/stats"
 )
@@ -74,30 +73,35 @@ func Fig17Bullet(cfg Fig17Config) Fig17Result {
 }
 
 func runBulletArm(cfg Fig17Config, withCB bool) (*stats.Sample, int, float64) {
-	s := sim.New(cfg.Seed)
 	n := cfg.Nodes + 1 // plus the source
-	factory := bulletprime.New(bulletprime.Config{
-		Members:   ids(n),
-		Source:    1,
-		Blocks:    cfg.Blocks,
-		BlockSize: cfg.BlockSize,
-		Fixes:     bulletprime.AllFixes, // measure throughput, not bugs
-		MaxPeers:  5,
-	})
-	// Paper: 5 Mbps in / 1 Mbps out access links; model the shared
-	// bottleneck with a uniform path at the outbound rate.
-	path := simnet.UniformPath{Latency: 50 * time.Millisecond, BwBps: 1e6, Loss: 0.002}
-	var ctrlCfg *controller.Config
+	control := scenario.Bare
 	if withCB {
-		c := controller.DefaultConfig(bulletprime.Properties, factory)
-		c.Mode = controller.DeepOnlineDebugging
-		c.MCStates = cfg.MCStates
-		c.Workers = cfg.Workers
-		c.EnableISC = false
-		c.SnapshotInterval = 10 * time.Second
-		ctrlCfg = &c
+		control = scenario.Debug
 	}
-	d := Deploy(s, path, n, factory, ctrlCfg, SnapCfg())
+	d, err := scenario.Deploy("bulletprime", scenario.DeployOptions{
+		Seed: cfg.Seed,
+		Service: scenario.Options{
+			Nodes:     n,
+			Fixed:     true, // measure throughput, not bugs
+			Blocks:    cfg.Blocks,
+			BlockSize: cfg.BlockSize,
+			Degree:    5,
+		},
+		// Paper: 5 Mbps in / 1 Mbps out access links; model the shared
+		// bottleneck with a uniform path at the outbound rate.
+		Path:    simnet.UniformPath{Latency: 50 * time.Millisecond, BwBps: 1e6, Loss: 0.002},
+		Control: control,
+		// The overhead arms measure the monitored download, not the
+		// debugging property set's transient phantom-block reports.
+		Props:            bulletprime.Properties,
+		MCStates:         cfg.MCStates,
+		Workers:          cfg.Workers,
+		SnapshotInterval: 10 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := d.Sim
 
 	times := &stats.Sample{}
 	done := make(map[int]bool)

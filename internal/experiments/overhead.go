@@ -3,11 +3,7 @@ package experiments
 import (
 	"time"
 
-	"crystalball/internal/runtime"
-	"crystalball/internal/services/bulletprime"
-	"crystalball/internal/services/chord"
-	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
+	"crystalball/internal/scenario"
 	"crystalball/internal/simnet"
 	"crystalball/internal/snapshot"
 	"crystalball/internal/stats"
@@ -33,7 +29,9 @@ type OverheadRow struct {
 }
 
 // Overhead measures checkpoint sizes and per-node checkpoint bandwidth for
-// the three data-plane services with snapshots collected every 10 s.
+// the three data-plane services with snapshots collected every 10 s. Every
+// service is its fixed (bug-free) variant deployed bare with standalone
+// snapshot managers — the cost of checkpointing alone, no controllers.
 func Overhead(cfg OverheadConfig) []OverheadRow {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 30
@@ -41,27 +39,47 @@ func Overhead(cfg OverheadConfig) []OverheadRow {
 	if cfg.Duration == 0 {
 		cfg.Duration = 3 * time.Minute
 	}
-	rows := []OverheadRow{
-		overheadRandTree(cfg),
-		overheadChord(cfg),
-		overheadBullet(cfg),
+	bulletNodes := cfg.Nodes
+	if bulletNodes > 12 {
+		bulletNodes = 12
 	}
+	rows := []OverheadRow{
+		overheadRun("randtree", "RandTree", cfg.Seed,
+			scenario.Options{Nodes: cfg.Nodes, Degree: 4, Fixed: true},
+			20*time.Second, cfg.Duration),
+		overheadRun("chord", "Chord", cfg.Seed+1,
+			scenario.Options{Nodes: cfg.Nodes, Fixed: true},
+			time.Duration(cfg.Nodes)*700*time.Millisecond+10*time.Second, cfg.Duration),
+		overheadRun("bulletprime", "Bullet'", cfg.Seed+2,
+			scenario.Options{Nodes: bulletNodes, Blocks: 48, BlockSize: 32 << 10, Fixed: true},
+			10*time.Second, cfg.Duration),
+	}
+	rows[0].PaperCkptBytes, rows[0].PaperBps = 176, 803
+	rows[1].PaperCkptBytes, rows[1].PaperBps = 1028, 8224
+	rows[2].PaperCkptBytes, rows[2].PaperBps = 3000, 30000
 	return rows
 }
 
-// runOverhead deploys the service with checkpoint managers and periodic
-// neighborhood collections, then reports sizes and bandwidth.
-func runOverhead(system string, s *sim.Simulator, nodes []*runtime.Node,
-	net *simnet.Network, duration time.Duration) OverheadRow {
-	var mgrs []*snapshot.Manager
-	for _, node := range nodes {
-		mgrs = append(mgrs, snapshot.NewManager(s, node, SnapCfg()))
+// overheadRun deploys the scenario bare with checkpoint managers, lets the
+// overlay form for warmup, then gathers every node's neighborhood snapshot
+// every 10 s — like the controller would — and reports sizes and
+// bandwidth.
+func overheadRun(name, system string, seed int64, opts scenario.Options, warmup, duration time.Duration) OverheadRow {
+	d, err := scenario.Deploy(name, scenario.DeployOptions{
+		Seed:        seed,
+		Service:     opts,
+		Control:     scenario.Bare,
+		Checkpoints: true,
+		Workload:    true,
+	})
+	if err != nil {
+		panic(err)
 	}
-	// Every node gathers its neighborhood snapshot every 10 s, like the
-	// controller would.
-	for i, node := range nodes {
+	s := d.Sim
+	s.RunFor(warmup) // let the overlay form
+	for i, node := range d.Nodes {
 		node := node
-		mgr := mgrs[i]
+		mgr := d.Mgrs[i]
 		var round func()
 		round = func() {
 			mgr.Collect(node.Service().Neighbors(), func(*snapshot.Snapshot) {})
@@ -75,7 +93,7 @@ func runOverhead(system string, s *sim.Simulator, nodes []*runtime.Node,
 	// size; wire averages only over payload-carrying responses
 	// (duplicate-suppressed responses transfer no state by design).
 	raw, wire := &stats.Sample{}, &stats.Sample{}
-	for _, mgr := range mgrs {
+	for _, mgr := range d.Mgrs {
 		if sz := mgr.LatestCheckpointSize(); sz > 0 {
 			raw.Add(float64(sz))
 		}
@@ -83,70 +101,14 @@ func runOverhead(system string, s *sim.Simulator, nodes []*runtime.Node,
 			wire.Add(float64(mgr.Stats.BytesSentWire) / float64(payload))
 		}
 	}
-	total := net.TotalBytesOut(simnet.KindCheckpoint)
-	bps := stats.Rate(total, duration) / float64(len(nodes))
+	total := d.Net.TotalBytesOut(simnet.KindCheckpoint)
+	bps := stats.Rate(total, duration) / float64(len(d.Nodes))
 	return OverheadRow{
 		System:             system,
 		MeanCheckpointRaw:  raw.Mean(),
 		MeanCheckpointWire: wire.Mean(),
 		PerNodeBps:         bps,
 	}
-}
-
-func overheadRandTree(cfg OverheadConfig) OverheadRow {
-	s := sim.New(cfg.Seed)
-	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 4, Fixes: randtree.AllFixes})
-	net := simnet.New(s, lanPath())
-	var nodes []*runtime.Node
-	for _, id := range ids(cfg.Nodes) {
-		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
-	}
-	for _, node := range nodes {
-		node.App(randtree.AppJoin{})
-	}
-	s.RunFor(20 * time.Second) // let the tree form
-	row := runOverhead("RandTree", s, nodes, net, cfg.Duration)
-	row.PaperCkptBytes, row.PaperBps = 176, 803
-	return row
-}
-
-func overheadChord(cfg OverheadConfig) OverheadRow {
-	s := sim.New(cfg.Seed + 1)
-	factory := chord.New(chord.Config{Bootstrap: ids(cfg.Nodes)[:1], Fixes: chord.AllFixes})
-	net := simnet.New(s, lanPath())
-	var nodes []*runtime.Node
-	for _, id := range ids(cfg.Nodes) {
-		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
-	}
-	for i, node := range nodes {
-		node := node
-		s.After(time.Duration(i)*500*time.Millisecond, func() { node.App(chord.AppJoin{}) })
-	}
-	s.RunFor(time.Duration(cfg.Nodes)*500*time.Millisecond + 10*time.Second)
-	row := runOverhead("Chord", s, nodes, net, cfg.Duration)
-	row.PaperCkptBytes, row.PaperBps = 1028, 8224
-	return row
-}
-
-func overheadBullet(cfg OverheadConfig) OverheadRow {
-	s := sim.New(cfg.Seed + 2)
-	n := cfg.Nodes
-	if n > 12 {
-		n = 12
-	}
-	factory := bulletprime.New(bulletprime.Config{
-		Members: ids(n), Source: 1, Blocks: 48, BlockSize: 32 << 10,
-		Fixes: bulletprime.AllFixes,
-	})
-	net := simnet.New(s, lanPath())
-	var nodes []*runtime.Node
-	for _, id := range ids(n) {
-		nodes = append(nodes, runtime.NewNode(s, net, id, factory))
-	}
-	s.RunFor(10 * time.Second) // mesh + some transfer state
-	row := runOverhead("Bullet'", s, nodes, net, cfg.Duration)
-	row.PaperCkptBytes, row.PaperBps = 3000, 30000
-	return row
 }
 
 // FormatOverhead renders the section 5.5 table.

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"crystalball/internal/controller"
+	"crystalball/internal/scenario"
 	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
 	"crystalball/internal/sm"
 	"crystalball/internal/stats"
 )
@@ -81,29 +80,36 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 	if cfg.MCStates == 0 {
 		cfg.MCStates = 8000
 	}
-	s := sim.New(cfg.Seed)
-	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 3})
-
-	var ctrlCfg *controller.Config
-	if mode != NoProtection {
-		c := controller.DefaultConfig(randtree.Properties, factory)
-		c.MCStates = cfg.MCStates
-		c.Workers = cfg.Workers
-		c.EnableISC = true
-		c.SnapshotInterval = 10 * time.Second
-		if mode == SteeringAndISC {
-			c.Mode = controller.ExecutionSteering
-		} else {
-			c.Mode = controller.DeepOnlineDebugging
-			c.MCStates = 1 // ISC-only arm: no meaningful prediction
-		}
-		ctrlCfg = &c
+	opts := scenario.DeployOptions{
+		Seed:             cfg.Seed,
+		Service:          scenario.Options{Nodes: cfg.Nodes},
+		Workers:          cfg.Workers,
+		SnapshotInterval: 10 * time.Second,
 	}
-	d := Deploy(s, lanPath(), cfg.Nodes, factory, ctrlCfg, SnapCfg())
+	switch mode {
+	case SteeringAndISC:
+		opts.Control = scenario.Steering
+		opts.MCStates = cfg.MCStates
+	case ISCOnly:
+		// The ISC-only arm runs the immediate safety check under a
+		// debugging controller with no meaningful prediction budget.
+		opts.Control = scenario.Debug
+		opts.ISC = scenario.On
+		opts.MCStates = 1
+	default:
+		opts.Control = scenario.Bare
+	}
+	d, err := scenario.Deploy("randtree", opts)
+	if err != nil {
+		panic(err)
+	}
+	s := d.Sim
 
 	res := SteeringResult{Mode: mode}
 	// Ground truth: after every executed action anywhere, check the
 	// global state (the paper counts states containing inconsistencies).
+	// Hooks go in before the join workload starts so the forming tree is
+	// counted too.
 	for _, node := range d.Nodes {
 		node.OnEvent = func(ev sm.Event) {
 			if !randtree.Properties.Holds(d.View()) {
@@ -111,9 +117,7 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 			}
 		}
 	}
-	for _, node := range d.Nodes {
-		node.App(randtree.AppJoin{})
-	}
+	d.StartWorkload()
 
 	// Churn with join-time measurement.
 	join := &stats.Sample{}
@@ -138,7 +142,7 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 			}
 			s.After(100*time.Millisecond, poll)
 		})
-		s.After(time.Duration(float64(cfg.ChurnGap)*expRand(rng.Float64())), churn)
+		s.After(time.Duration(float64(cfg.ChurnGap)*scenario.ExpRand(rng.Float64())), churn)
 	}
 	s.After(cfg.ChurnGap, churn)
 

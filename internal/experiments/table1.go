@@ -2,15 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"crystalball/internal/controller"
-	"crystalball/internal/services/bulletprime"
-	"crystalball/internal/services/chord"
-	"crystalball/internal/services/randtree"
-	"crystalball/internal/sim"
-	"crystalball/internal/sm"
+	"crystalball/internal/scenario"
 	"crystalball/internal/stats"
 )
 
@@ -40,6 +35,8 @@ type Table1Result struct {
 // debugging mode runs against the buggy (as-shipped) implementations of
 // RandTree, Chord and Bullet′ under churn, and reports the distinct
 // inconsistency classes predicted (paper: RandTree 7, Chord 3, Bullet′ 3).
+// All three deployments are the same scenario.Deploy call with a
+// different registry name.
 func Table1(cfg Table1Config) []Table1Result {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 12
@@ -50,109 +47,42 @@ func Table1(cfg Table1Config) []Table1Result {
 	if cfg.MCStates == 0 {
 		cfg.MCStates = 12000
 	}
+	bulletNodes := cfg.Nodes
+	if bulletNodes > 10 {
+		bulletNodes = 10 // Bullet′ state is heavy; the paper's run found its bug within minutes
+	}
 	return []Table1Result{
-		table1RandTree(cfg),
-		table1Chord(cfg),
-		table1Bullet(cfg),
+		table1Run("randtree", "RandTree", cfg, cfg.Seed,
+			scenario.Options{Nodes: cfg.Nodes}, cfg.MCStates, 60*time.Second),
+		table1Run("chord", "Chord", cfg, cfg.Seed+1,
+			scenario.Options{Nodes: cfg.Nodes}, cfg.MCStates, 60*time.Second),
+		// Half the state budget for Bullet′: its states are large.
+		table1Run("bulletprime", "Bullet'", cfg, cfg.Seed+2,
+			scenario.Options{Nodes: bulletNodes, Blocks: 24, BlockSize: 32 << 10},
+			cfg.MCStates/2, 90*time.Second),
 	}
 }
 
-func table1RandTree(cfg Table1Config) Table1Result {
-	s := sim.New(cfg.Seed)
-	factory := randtree.New(randtree.Config{Bootstrap: ids(cfg.Nodes)[:1], MaxChildren: 3})
-	ctrl := controller.DefaultConfig(randtree.Properties, factory)
-	ctrl.Mode = controller.DeepOnlineDebugging
-	ctrl.MCStates = cfg.MCStates
-	ctrl.Workers = cfg.Workers
-	ctrl.EnableISC = false // debugging observes, never intervenes
-	ctrl.SnapshotInterval = 15 * time.Second
-	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
-	for _, node := range d.Nodes {
-		node.App(randtree.AppJoin{})
-	}
-	// Churn: roughly one reset+rejoin per minute.
-	Churn(s, d, 60*time.Second, func(node *sm.NodeID) sm.AppCall { return randtree.AppJoin{} })
-	s.RunFor(cfg.Duration)
-	all := d.TotalFindings()
-	return Table1Result{System: "RandTree", Findings: all, Distinct: controller.DistinctFindings(all)}
-}
-
-func table1Chord(cfg Table1Config) Table1Result {
-	s := sim.New(cfg.Seed + 1)
-	factory := chord.New(chord.Config{Bootstrap: ids(cfg.Nodes)[:1]})
-	ctrl := controller.DefaultConfig(chord.Properties, factory)
-	ctrl.Mode = controller.DeepOnlineDebugging
-	ctrl.MCStates = cfg.MCStates
-	ctrl.Workers = cfg.Workers
-	ctrl.EnableISC = false
-	ctrl.SnapshotInterval = 15 * time.Second
-	d := Deploy(s, lanPath(), cfg.Nodes, factory, &ctrl, SnapCfg())
-	// Stagger joins so the ring forms.
-	for i, node := range d.Nodes {
-		node := node
-		s.After(time.Duration(i)*700*time.Millisecond, func() { node.App(chord.AppJoin{}) })
-	}
-	Churn(s, d, 60*time.Second, func(node *sm.NodeID) sm.AppCall { return chord.AppJoin{} })
-	s.RunFor(cfg.Duration)
-	all := d.TotalFindings()
-	return Table1Result{System: "Chord", Findings: all, Distinct: controller.DistinctFindings(all)}
-}
-
-func table1Bullet(cfg Table1Config) Table1Result {
-	s := sim.New(cfg.Seed + 2)
-	n := cfg.Nodes
-	if n > 10 {
-		n = 10 // Bullet′ state is heavy; the paper's run found its bug within minutes
-	}
-	factory := bulletprime.New(bulletprime.Config{
-		Members:   ids(n),
-		Source:    1,
-		Blocks:    24,
-		BlockSize: 32 << 10,
+// table1Run deploys one scenario in deep-online-debugging mode under churn
+// and collects its findings. Debugging observes, never intervenes: the
+// immediate safety check stays off (the scenario's Control default).
+func table1Run(name, system string, cfg Table1Config, seed int64, opts scenario.Options, mcStates int, churn time.Duration) Table1Result {
+	d, err := scenario.Deploy(name, scenario.DeployOptions{
+		Seed:             seed,
+		Service:          opts,
+		Control:          scenario.Debug,
+		MCStates:         mcStates,
+		Workers:          cfg.Workers,
+		SnapshotInterval: 15 * time.Second,
+		Workload:         true,
+		Churn:            churn,
 	})
-	ctrl := controller.DefaultConfig(bulletprime.DebugProperties, factory)
-	ctrl.Mode = controller.DeepOnlineDebugging
-	ctrl.MCStates = cfg.MCStates / 2 // states are large
-	ctrl.Workers = cfg.Workers
-	ctrl.EnableISC = false
-	ctrl.SnapshotInterval = 15 * time.Second
-	d := Deploy(s, lanPath(), n, factory, &ctrl, SnapCfg())
-	Churn(s, d, 90*time.Second, nil)
-	s.RunFor(cfg.Duration)
+	if err != nil {
+		panic(err)
+	}
+	d.Sim.RunFor(cfg.Duration)
 	all := d.TotalFindings()
-	return Table1Result{System: "Bullet'", Findings: all, Distinct: controller.DistinctFindings(all)}
-}
-
-// Churn resets a random node (silently half the time) at exponential
-// intervals with the given mean, then reissues the join call if any.
-func Churn(s *sim.Simulator, d *Deployment, mean time.Duration, rejoin func(*sm.NodeID) sm.AppCall) {
-	rng := s.RNG("churn")
-	var tick func()
-	tick = func() {
-		node := d.Nodes[rng.Intn(len(d.Nodes))]
-		node.Reset(rng.Intn(2) == 0)
-		if rejoin != nil {
-			id := node.ID
-			call := rejoin(&id)
-			s.After(500*time.Millisecond, func() { node.App(call) })
-		}
-		gap := time.Duration(float64(mean) * expRand(rng.Float64()))
-		s.After(gap, tick)
-	}
-	s.After(time.Duration(float64(mean)*expRand(rng.Float64())), tick)
-}
-
-// expRand converts a uniform sample into a unit-mean exponential sample,
-// capped at 5 to avoid pathological gaps in short experiments.
-func expRand(u float64) float64 {
-	if u <= 0 {
-		u = 1e-9
-	}
-	x := -math.Log(u)
-	if x > 5 {
-		x = 5
-	}
-	return x
+	return Table1Result{System: system, Findings: all, Distinct: controller.DistinctFindings(all)}
 }
 
 // FormatTable1 renders Table 1 alongside the paper's numbers.

@@ -3,8 +3,6 @@ package mc
 import (
 	"testing"
 
-	"crystalball/internal/props"
-	"crystalball/internal/services/paxos"
 	"crystalball/internal/sm"
 )
 
@@ -66,30 +64,8 @@ func TestHashOracleToyResets(t *testing.T) {
 	oracleWalk(t, s, multiTimerStart(), 30, 25, 11)
 }
 
-// TestHashOracleChord walks the paper's Figure 10 Chord scenario with
-// resets and connection breaks enabled.
-func TestHashOracleChord(t *testing.T) {
-	factory, g := chordFigure10Start()
-	s := NewSearch(Config{
-		Props:             props.Set{},
-		Factory:           factory,
-		ExploreResets:     true,
-		ExploreConnBreaks: true,
-		MaxResetsPerPath:  1,
-	})
-	oracleWalk(t, s, g, 25, 20, 23)
-}
-
-// TestHashOraclePaxos walks the paper's Figure 13 Paxos scenario.
-func TestHashOraclePaxos(t *testing.T) {
-	factory := paxos.New(paxos.Config{Members: []sm.NodeID{1, 2, 3}, Bug1: true})
-	s := NewSearch(Config{
-		Props:         props.Set{},
-		Factory:       factory,
-		ExploreResets: true,
-	})
-	oracleWalk(t, s, paxosPostRound1Start(factory), 25, 20, 37)
-}
+// The Chord and Paxos oracle walks live in services_test.go (package
+// mc_test): real services register scenarios, whose package imports mc.
 
 // TestHashOracleFiltered covers the filtered-apply constructor (message
 // dropped, optional RST queued) which bypasses runHandler.

@@ -5,14 +5,13 @@ import (
 	"sort"
 	"testing"
 
-	"crystalball/internal/props"
-	"crystalball/internal/services/chord"
-	"crystalball/internal/services/paxos"
 	"crystalball/internal/sm"
 )
 
 // distinctSignatures returns the sorted violation-signature set of a result
-// (Result.Violations is already deduplicated by signature).
+// (Result.Violations is already deduplicated by signature). The Chord and
+// Paxos determinism twins of these tests live in services_test.go (package
+// mc_test): real services register scenarios, whose package imports mc.
 func distinctSignatures(res *Result) []string {
 	out := make([]string, 0, len(res.Violations))
 	for _, v := range res.Violations {
@@ -76,128 +75,6 @@ func TestParallelViolationsSortedDeterministically(t *testing.T) {
 		}
 	}
 }
-
-// chordFigure10Start replicates the start state of the paper's Figure 10
-// Chord scenario (see chord's own model-checking test): A(1), C(3), D(5)
-// form a ring after B's departure, and a reset + rejoin of C can produce
-// pred(C)=C while other successors exist.
-func chordFigure10Start() (sm.Factory, *GState) {
-	factory := chord.New(chord.Config{Bootstrap: []sm.NodeID{1}})
-	a := factory(1).(*chord.Ring)
-	a.Joined = true
-	a.Pred = 5
-	a.Succs = []sm.NodeID{3, 5, 1}
-
-	c := factory(3).(*chord.Ring)
-	c.Joined = true
-	c.Pred = 1
-	c.Succs = []sm.NodeID{5, 1, 3}
-
-	d := factory(5).(*chord.Ring)
-	d.Joined = true
-	d.Pred = 3
-	d.Succs = []sm.NodeID{1, 3, 5}
-
-	g := NewGState()
-	g.AddNode(1, a, map[sm.TimerID]bool{chord.TimerStabilize: true})
-	g.AddNode(3, c, map[sm.TimerID]bool{chord.TimerStabilize: true})
-	g.AddNode(5, d, map[sm.TimerID]bool{chord.TimerStabilize: true})
-	return factory, g
-}
-
-// paxosPostRound1Start replicates the post-round-1 snapshot of the paper's
-// Figure 13 Paxos scenario (see paxos's own model-checking test).
-func paxosPostRound1Start(factory sm.Factory) *GState {
-	a := factory(1).(*paxos.Paxos)
-	a.PromisedRound = 3
-	a.AcceptedRound = 3
-	a.AcceptedVal = 0
-	a.HasAccepted = true
-	a.CurRound = 3
-	a.Proposing = true
-	a.AcceptSent = true
-	a.ChosenVals = []int64{0}
-	a.Learns = map[uint64]map[sm.NodeID]int64{3: {1: 0, 2: 0}}
-
-	b := factory(2).(*paxos.Paxos)
-	b.PromisedRound = 3
-	b.AcceptedRound = 3
-	b.AcceptedVal = 0
-	b.HasAccepted = true
-	b.Learns = map[uint64]map[sm.NodeID]int64{3: {2: 0}}
-
-	g := NewGState()
-	g.AddNode(1, a, nil)
-	g.AddNode(2, b, nil)
-	g.AddNode(3, factory(3).(*paxos.Paxos), nil)
-	return g
-}
-
-// TestParallelChordDeterminism: on the Chord Figure 10 scenario, a
-// depth-bounded parallel search yields the same distinct violation
-// signatures as the serial one.
-func TestParallelChordDeterminism(t *testing.T) {
-	run := func(workers int) *Result {
-		factory, g := chordFigure10Start()
-		s := NewSearch(Config{
-			Props:             props.Set{chord.PropPredSelfImpliesSuccSelf},
-			Factory:           factory,
-			Mode:              Consequence,
-			ExploreResets:     true,
-			ExploreConnBreaks: true,
-			MaxResetsPerPath:  1,
-			MaxDepth:          chordDeterminismDepth,
-			Workers:           workers,
-		})
-		return s.Run(g)
-	}
-	serial := run(1)
-	if len(serial.Violations) == 0 {
-		t.Fatal("serial search missed the Figure 10 inconsistency")
-	}
-	parallel := run(4)
-	if got, want := distinctSignatures(parallel), distinctSignatures(serial); !reflect.DeepEqual(got, want) {
-		t.Fatalf("workers=4 signatures %v, serial %v", got, want)
-	}
-	if parallel.StatesExplored != serial.StatesExplored {
-		t.Fatalf("workers=4 states %d, serial %d", parallel.StatesExplored, serial.StatesExplored)
-	}
-}
-
-// TestParallelPaxosDeterminism: same check on the Paxos Figure 13 bug-1
-// scenario.
-func TestParallelPaxosDeterminism(t *testing.T) {
-	factory := paxos.New(paxos.Config{Members: []sm.NodeID{1, 2, 3}, Bug1: true})
-	run := func(workers int) *Result {
-		s := NewSearch(Config{
-			Props:    paxos.Properties,
-			Factory:  factory,
-			Mode:     Consequence,
-			MaxDepth: paxosDeterminismDepth,
-			Workers:  workers,
-		})
-		return s.Run(paxosPostRound1Start(factory))
-	}
-	serial := run(1)
-	if len(serial.Violations) == 0 {
-		t.Fatal("serial search missed the bug-1 violation")
-	}
-	parallel := run(4)
-	if got, want := distinctSignatures(parallel), distinctSignatures(serial); !reflect.DeepEqual(got, want) {
-		t.Fatalf("workers=4 signatures %v, serial %v", got, want)
-	}
-	if parallel.StatesExplored != serial.StatesExplored {
-		t.Fatalf("workers=4 states %d, serial %d", parallel.StatesExplored, serial.StatesExplored)
-	}
-}
-
-// Depth bounds for the determinism scenarios: deep enough to reach the
-// paper's violations, shallow enough to explore exhaustively (no state
-// cutoff, so the reachable set is independent of worker interleaving).
-const (
-	chordDeterminismDepth = 10
-	paxosDeterminismDepth = 9
-)
 
 // TestParallelRandomWalk: walks derive their randomness from the walk
 // index, so the walk count and discovered signatures are stable across

@@ -1,0 +1,12 @@
+// Package all registers every built-in scenario. CLIs and tests that
+// resolve services through the registry blank-import it:
+//
+//	import _ "crystalball/internal/scenario/all"
+package all
+
+import (
+	_ "crystalball/internal/services/bulletprime"
+	_ "crystalball/internal/services/chord"
+	_ "crystalball/internal/services/paxos"
+	_ "crystalball/internal/services/randtree"
+)

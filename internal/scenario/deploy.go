@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crystalball/internal/controller"
+	"crystalball/internal/props"
+	"crystalball/internal/runtime"
+	"crystalball/internal/sim"
+	"crystalball/internal/simnet"
+	"crystalball/internal/snapshot"
+)
+
+// Control selects what supervises the deployed nodes.
+type Control int
+
+// Deployment control modes.
+const (
+	// Bare deploys the service with no CrystalBall controllers.
+	Bare Control = iota
+	// Debug attaches controllers in deep-online-debugging mode.
+	Debug
+	// Steering attaches controllers in execution-steering mode.
+	Steering
+)
+
+// Toggle is a three-state option: the zero value keeps the default.
+type Toggle int
+
+// Toggle states.
+const (
+	Auto Toggle = iota
+	On
+	Off
+)
+
+// LANPath is the uniform 20 ms / 100 Mbps path model the staged scenarios
+// and CLIs deploy on by default.
+func LANPath() simnet.UniformPath {
+	return simnet.UniformPath{Latency: 20 * time.Millisecond, BwBps: 1e8}
+}
+
+// SnapDefaults returns the checkpointing configuration used across the
+// experiments (paper: 10 s checkpoint interval, LZW compression).
+func SnapDefaults() snapshot.Config {
+	return snapshot.Config{
+		Interval:       10 * time.Second,
+		Quota:          32,
+		CollectTimeout: 2 * time.Second,
+		Compress:       true,
+		MaxRetries:     1,
+	}
+}
+
+// DeployOptions assembles a live deployment behind one struct; the zero
+// value deploys the scenario's Live defaults bare on a fresh seed-0 clock.
+type DeployOptions struct {
+	// Sim is the simulated clock to deploy on; nil creates sim.New(Seed).
+	Sim *sim.Simulator
+	// Seed seeds the created simulator (ignored when Sim is set).
+	Seed int64
+	// Path is the network path model (nil = LANPath).
+	Path simnet.PathModel
+	// Service parameterises the service factory; zero fields resolve
+	// against the scenario's Live tuning.
+	Service Options
+	// Control selects bare, debugging or steering supervision.
+	Control Control
+	// Controller, when set, is installed verbatim (its Factory is
+	// replaced by the deployment's); use ControllerConfig to derive a
+	// baseline to tweak. All controller-shaping fields below are then
+	// ignored.
+	Controller *controller.Config
+	// Props overrides the property set controllers check (nil =
+	// scenario default for the control mode).
+	Props props.Set
+	// Snapshot overrides the checkpointing configuration (nil =
+	// SnapDefaults).
+	Snapshot *snapshot.Config
+	// SnapshotInterval overrides both the checkpoint interval and the
+	// controller's model-checking round interval.
+	SnapshotInterval time.Duration
+	// MCStates bounds each consequence-prediction round (0 = scenario
+	// suggestion, then controller default).
+	MCStates int
+	// Workers is the checker worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// PerStateCost overrides the virtual checker latency per state.
+	PerStateCost time.Duration
+	// ISC toggles the immediate safety check (Auto = on iff steering).
+	ISC Toggle
+	// Faults overrides the scenario's checker fault model.
+	Faults *Faults
+	// Checkpoints attaches standalone snapshot managers to Bare
+	// deployments (the overhead experiments measure them without
+	// controllers); deployments with controllers always checkpoint.
+	Checkpoints bool
+	// Workload issues the scenario's initial application-call workload
+	// (joins) as soon as the nodes exist; call StartWorkload for
+	// manual control, e.g. after installing OnEvent hooks.
+	Workload bool
+	// Churn starts the built-in churn loop with this mean reset
+	// interval (0 = none).
+	Churn time.Duration
+}
+
+// Deployment is a running simulated CrystalBall deployment built by
+// Scenario.Deploy.
+type Deployment struct {
+	Scenario *Scenario
+	// Service is the resolved service options the factory was built
+	// with.
+	Service Options
+	// Props is the property set supervising this deployment (what the
+	// controllers check, or the scenario set when bare).
+	Props props.Set
+	Sim   *sim.Simulator
+	Net   *simnet.Network
+	Nodes []*runtime.Node
+	Ctrls []*controller.Controller
+	// Mgrs are the standalone snapshot managers of a Bare deployment
+	// with Checkpoints on (indexed like Nodes); controller-supervised
+	// deployments keep their managers inside the controllers.
+	Mgrs []*snapshot.Manager
+}
+
+// Deploy assembles the full live stack for the scenario: simulated clock,
+// simulated network with a path model, one runtime node per member, and —
+// depending on o.Control — snapshot managers and CrystalBall controllers.
+func (sc *Scenario) Deploy(o DeployOptions) (*Deployment, error) {
+	opts := sc.LiveOptions(o.Service)
+	factory, err := sc.Factory(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := o.Sim
+	if s == nil {
+		s = sim.New(o.Seed)
+	}
+	path := o.Path
+	if path == nil {
+		path = LANPath()
+	}
+	snapCfg := SnapDefaults()
+	if o.Snapshot != nil {
+		snapCfg = *o.Snapshot
+	}
+	if o.SnapshotInterval > 0 {
+		snapCfg.Interval = o.SnapshotInterval
+	}
+
+	var ctrlCfg *controller.Config
+	switch {
+	case o.Controller != nil:
+		cfg := *o.Controller
+		if cfg.Props == nil {
+			cfg.Props = sc.PropsFor(o.Control == Debug)
+		}
+		ctrlCfg = &cfg
+	case o.Control != Bare:
+		cfg, err := sc.ControllerConfig(o)
+		if err != nil {
+			return nil, err
+		}
+		ctrlCfg = &cfg
+	}
+
+	d := &Deployment{
+		Scenario: sc,
+		Service:  opts,
+		Props:    sc.Props,
+		Sim:      s,
+		Net:      simnet.New(s, path),
+	}
+	if ctrlCfg != nil {
+		d.Props = ctrlCfg.Props
+	}
+	for _, id := range IDs(opts.Nodes) {
+		node := runtime.NewNode(s, d.Net, id, factory)
+		d.Nodes = append(d.Nodes, node)
+		switch {
+		case ctrlCfg != nil:
+			cfg := *ctrlCfg
+			cfg.Factory = factory
+			c := controller.New(s, node, cfg, snapCfg)
+			c.Start()
+			d.Ctrls = append(d.Ctrls, c)
+		case o.Checkpoints:
+			d.Mgrs = append(d.Mgrs, snapshot.NewManager(s, node, snapCfg))
+		}
+	}
+	if o.Workload {
+		d.StartWorkload()
+	}
+	if o.Churn > 0 {
+		d.StartChurn(o.Churn)
+	}
+	return d, nil
+}
+
+// Deploy resolves service in the registry and deploys it; see
+// Scenario.Deploy.
+func Deploy(service string, o DeployOptions) (*Deployment, error) {
+	sc, ok := Lookup(service)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (registered: %v)", service, Names())
+	}
+	return sc.Deploy(o)
+}
+
+// StartWorkload issues the scenario's initial application-call workload:
+// every node receives a fresh Join call, staggered by the scenario's
+// JoinStagger. A no-op for scenarios without a join call.
+func (d *Deployment) StartWorkload() {
+	if d.Scenario.Join == nil {
+		return
+	}
+	for i, node := range d.Nodes {
+		node := node
+		if d.Scenario.JoinStagger <= 0 {
+			node.App(d.Scenario.Join())
+			continue
+		}
+		d.Sim.After(time.Duration(i)*d.Scenario.JoinStagger, func() {
+			node.App(d.Scenario.Join())
+		})
+	}
+}
+
+// StartChurn resets a random node (silently half the time) at exponential
+// intervals with the given mean, reissuing the scenario's join call after
+// each reset.
+func (d *Deployment) StartChurn(mean time.Duration) {
+	rng := d.Sim.RNG("churn")
+	var tick func()
+	tick = func() {
+		node := d.Nodes[rng.Intn(len(d.Nodes))]
+		node.Reset(rng.Intn(2) == 0)
+		if d.Scenario.Join != nil {
+			call := d.Scenario.Join()
+			d.Sim.After(500*time.Millisecond, func() { node.App(call) })
+		}
+		d.Sim.After(time.Duration(float64(mean)*ExpRand(rng.Float64())), tick)
+	}
+	d.Sim.After(time.Duration(float64(mean)*ExpRand(rng.Float64())), tick)
+}
+
+// ExpRand converts a uniform sample into a unit-mean exponential sample,
+// capped at 5 to avoid pathological gaps in short experiments.
+func ExpRand(u float64) float64 {
+	if u <= 0 {
+		u = 1e-9
+	}
+	x := -math.Log(u)
+	if x > 5 {
+		x = 5
+	}
+	return x
+}
+
+// View builds the ground-truth global view of the deployment.
+func (d *Deployment) View() *props.View {
+	v := props.NewView()
+	for _, node := range d.Nodes {
+		svc, timers := node.View()
+		v.Add(node.ID, svc, timers)
+	}
+	return v
+}
+
+// TotalFindings returns all controller findings.
+func (d *Deployment) TotalFindings() []controller.Finding {
+	var out []controller.Finding
+	for _, c := range d.Ctrls {
+		out = append(out, c.Findings()...)
+	}
+	return out
+}

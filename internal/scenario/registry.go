@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry maps canonical names and aliases to registered scenarios.
+// Registration happens in service-package init functions, so importing a
+// service package (directly or via scenario/all) is what makes it
+// checkable and deployable everywhere.
+var (
+	registry = make(map[string]*Scenario)
+	canon    []string // canonical names, sorted
+)
+
+// Register adds a scenario to the registry. It panics on an empty name, a
+// missing factory, empty properties, or a name/alias collision — all
+// programming errors in the registering service package.
+func Register(sc Scenario) {
+	if sc.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if sc.New == nil {
+		panic(fmt.Sprintf("scenario %s: Register with nil New", sc.Name))
+	}
+	if len(sc.Props) == 0 {
+		panic(fmt.Sprintf("scenario %s: Register with empty Props", sc.Name))
+	}
+	if sc.Check.Nodes == 0 || sc.Live.Nodes == 0 {
+		panic(fmt.Sprintf("scenario %s: Check and Live node defaults required", sc.Name))
+	}
+	p := &sc
+	for _, key := range append([]string{sc.Name}, sc.Aliases...) {
+		if _, dup := registry[key]; dup {
+			panic(fmt.Sprintf("scenario %s: name %q already registered", sc.Name, key))
+		}
+		registry[key] = p
+	}
+	canon = append(canon, sc.Name)
+	sort.Strings(canon)
+}
+
+// Lookup resolves a scenario by canonical name or alias.
+func Lookup(name string) (*Scenario, bool) {
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// MustLookup resolves a scenario by name and panics when it is not
+// registered; for examples and tests whose scenario set is static.
+func MustLookup(name string) *Scenario {
+	sc, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario %q not registered (registered: %v)", name, Names()))
+	}
+	return sc
+}
+
+// Names returns the sorted canonical names of all registered scenarios;
+// CLIs print it in -list output and unknown-service errors.
+func Names() []string {
+	return append([]string(nil), canon...)
+}

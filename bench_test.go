@@ -320,9 +320,11 @@ func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
 		FiltersInstalled   int64
 		InconsistentStates int64
 	}
+	gt := props.NewView() // refilled per event; the simulator is single-threaded
 	for _, node := range d.Nodes {
 		node.OnEvent = func(sm.Event) {
-			if !randtree.Properties.Holds(d.View()) {
+			d.FillView(gt)
+			if !randtree.Properties.Holds(gt) {
 				out.InconsistentStates++
 			}
 		}

@@ -1,0 +1,317 @@
+// Command benchjson records and compares the repo's micro-benchmark
+// trajectory. It runs the core checker benchmarks (`go test -bench` with
+// -benchmem), parses the standard benchmark output into a structured
+// snapshot (ns/op, allocs/op, B/op, plus custom metrics like states/sec),
+// and either merges the snapshot into a committed artifact (BENCH_N.json,
+// keyed by label — "before"/"after" for a PR's perf claim) or compares the
+// current tree against a recorded snapshot, benchstat-style.
+//
+// Record the "after" side of the committed artifact:
+//
+//	go run ./cmd/benchjson -label after -out BENCH_4.json
+//
+// Compare the working tree against the committed "after" numbers
+// (warn-only: always exits 0 unless -strict):
+//
+//	go run ./cmd/benchjson -compare BENCH_4.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the micro-benchmarks that gate checker throughput;
+// the heavyweight paper-figure benchmarks are excluded so a recording run
+// completes in minutes.
+const defaultBench = "BenchmarkStateHash$|BenchmarkConsequencePrediction$|BenchmarkExhaustiveSearch$|BenchmarkParallelSearch$|BenchmarkCheckpointEncode$"
+
+// Result is one benchmark's parsed numbers.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsOp       float64            `json:"ns_op"`
+	BytesOp    float64            `json:"bytes_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labeled benchmark run.
+type Snapshot struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "record mode: snapshot label to merge into -out (e.g. before, after)")
+	out := flag.String("out", "BENCH_4.json", "artifact file to merge the labeled snapshot into")
+	compare := flag.String("compare", "", "compare mode: artifact file to compare the current tree against")
+	against := flag.String("against", "after", "label inside the -compare artifact to compare against")
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 10x)")
+	pkg := flag.String("pkg", ".", "package holding the benchmarks")
+	input := flag.String("input", "", "parse a saved `go test -bench` output file instead of running the benchmarks")
+	procs := flag.Int("procs", 1, "with -input: GOMAXPROCS of the host that produced the file (go test appends a -N name suffix when it is not 1)")
+	strict := flag.Bool("strict", false, "compare mode: exit non-zero on regression instead of warning")
+	nsTol := flag.Float64("ns-tolerance", 0.15, "compare mode: relative ns/op regression tolerated before warning")
+	flag.Parse()
+
+	if (*label == "") == (*compare == "") {
+		fmt.Fprintln(os.Stderr, "usage: exactly one of -label (record) or -compare (check) is required")
+		os.Exit(2)
+	}
+
+	var snap *Snapshot
+	var err error
+	if *input != "" {
+		snap, err = parseFile(*input, *procs)
+	} else {
+		snap, err = runBenchmarks(*pkg, *bench, *benchtime)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *label != "" {
+		if err := mergeSnapshot(*out, *label, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d benchmarks under %q in %s\n", len(snap.Benchmarks), *label, *out)
+		return
+	}
+
+	base, err := loadSnapshot(*compare, *against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	regressions := report(base, snap, *against, *nsTol)
+	if regressions > 0 && *strict {
+		os.Exit(1)
+	}
+}
+
+// parseFile builds a snapshot from a saved `go test -bench` output file;
+// procs is the recording host's GOMAXPROCS, which governs the -N name
+// suffix go test appended there.
+func parseFile(path string, procs int) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := parseOutput(string(data), procs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func runBenchmarks(pkg, bench, benchtime string) (*Snapshot, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", pkg}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	fmt.Fprintf(os.Stderr, "running: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %w\n%s", err, outBytes)
+	}
+	return parseOutput(string(outBytes), runtime.GOMAXPROCS(0))
+}
+
+func parseOutput(out string, procs int) (*Snapshot, error) {
+	snap := &Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]Result{},
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		name, res, ok := parseBenchLine(line, procs)
+		if !ok {
+			continue
+		}
+		snap.Benchmarks[name] = res
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	return snap, nil
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFoo/sub-8   1234   5678 ns/op   42 states/sec   9 B/op   3 allocs/op
+func parseBenchLine(line string, procs int) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsOp = val
+		case "B/op":
+			res.BytesOp = val
+		case "allocs/op":
+			res.AllocsOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	// Strip the -GOMAXPROCS suffix so snapshots from hosts with different
+	// core counts compare by benchmark identity. go test appends it only
+	// when the producing host's GOMAXPROCS was not 1, so the strip is
+	// exact and cannot eat a sub-benchmark name that happens to end in a
+	// number (e.g. workers-4).
+	name := fields[0]
+	if procs != 1 {
+		name = strings.TrimSuffix(name, fmt.Sprintf("-%d", procs))
+	}
+	return name, res, true
+}
+
+func mergeSnapshot(path, label string, snap *Snapshot) error {
+	doc := map[string]*Snapshot{}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// First recording: start a fresh artifact.
+	default:
+		// Any other read failure must not silently discard the labels
+		// already recorded in the artifact.
+		return err
+	}
+	doc[label] = snap
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func loadSnapshot(path, label string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := map[string]*Snapshot{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	snap := doc[label]
+	if snap == nil {
+		return nil, fmt.Errorf("%s: no snapshot labeled %q (have %s)", path, label, strings.Join(labels(doc), ", "))
+	}
+	return snap, nil
+}
+
+func labels(doc map[string]*Snapshot) []string {
+	var out []string
+	for l := range doc {
+		out = append(out, l)
+	}
+	return out
+}
+
+// report prints a benchstat-style comparison and returns the number of
+// regressions (ns/op beyond tolerance, or any allocs/op increase).
+func report(base, cur *Snapshot, label string, nsTol float64) int {
+	fmt.Printf("comparison against %q (recorded %s, %s)\n", label, base.Date, base.CPU)
+	fmt.Printf("%-55s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	regressions := 0
+	for _, name := range sortedKeys(base.Benchmarks) {
+		old := base.Benchmarks[name]
+		now, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-55s %14s %14s %8s  missing from current run\n", name, fmtNs(old.NsOp), "-", "-")
+			regressions++
+			continue
+		}
+		delta := 0.0
+		if old.NsOp > 0 {
+			delta = (now.NsOp - old.NsOp) / old.NsOp
+		}
+		warn := ""
+		if delta > nsTol {
+			warn = "  << SLOWER"
+			regressions++
+		}
+		if now.AllocsOp > old.AllocsOp {
+			warn += "  << MORE ALLOCS"
+			regressions++
+		}
+		fmt.Printf("%-55s %14s %14s %+7.1f%%  %.0f→%.0f%s\n",
+			name, fmtNs(old.NsOp), fmtNs(now.NsOp), 100*delta, old.AllocsOp, now.AllocsOp, warn)
+		for _, m := range sortedKeys(old.Metrics) {
+			if nv, ok := now.Metrics[m]; ok {
+				fmt.Printf("    %-51s %14.0f %14.0f\n", m, old.Metrics[m], nv)
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("WARNING: %d regression(s) against the recorded baseline (hardware differences may account for some)\n", regressions)
+	} else {
+		fmt.Println("no regressions against the recorded baseline")
+	}
+	return regressions
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

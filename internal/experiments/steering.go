@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"crystalball/internal/props"
 	"crystalball/internal/scenario"
 	"crystalball/internal/services/randtree"
 	"crystalball/internal/sm"
@@ -109,10 +110,13 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 	// Ground truth: after every executed action anywhere, check the
 	// global state (the paper counts states containing inconsistencies).
 	// Hooks go in before the join workload starts so the forming tree is
-	// counted too.
+	// counted too. The view is refilled per event, not reallocated — the
+	// simulator is single-threaded, so one shared view is safe.
+	gt := props.NewView()
 	for _, node := range d.Nodes {
 		node.OnEvent = func(ev sm.Event) {
-			if !randtree.Properties.Holds(d.View()) {
+			d.FillView(gt)
+			if !randtree.Properties.Holds(gt) {
 				res.InconsistentStates++
 			}
 		}

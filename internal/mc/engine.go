@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crystalball/internal/props"
 	"crystalball/internal/sm"
 )
 
@@ -92,6 +93,10 @@ type collector struct {
 	list     []Violation
 	recorded int // violating states seen, including signature duplicates
 	max      int // MaxViolations (0 = unbounded)
+	// filled flips once the quota is reached; record's lock-free fast path
+	// reads it so post-quota workers (which may still be draining violating
+	// states from their level slices) stop serializing on the mutex.
+	filled atomic.Bool
 }
 
 func newCollector(max int) *collector {
@@ -101,6 +106,9 @@ func newCollector(max int) *collector {
 // record merges v into the collection and reports whether the violation
 // quota is now (or already was) filled.
 func (c *collector) record(v Violation) (quotaFilled bool) {
+	if c.filled.Load() {
+		return true
+	}
 	sig := v.Signature()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -117,7 +125,11 @@ func (c *collector) record(v Violation) (quotaFilled bool) {
 		c.bySig[sig] = len(c.list)
 		c.list = append(c.list, v)
 	}
-	return c.max > 0 && c.recorded >= c.max
+	if c.max > 0 && c.recorded >= c.max {
+		c.filled.Store(true)
+		return true
+	}
+	return false
 }
 
 // violations returns the deduplicated set sorted by depth, then state hash,
@@ -157,6 +169,11 @@ type engine struct {
 	visited *shardedSet
 	local   *shardedSet // consequence-prediction dedup table
 	coll    *collector
+	// res holds one reusable workspace per worker (index 0 doubles as the
+	// serial fast path's): the property-check view and the event-enumeration
+	// buffers are recycled across every state a worker processes, so the
+	// per-state path allocates only for the successors it actually keeps.
+	res []workerRes
 
 	transitions   atomic.Int64
 	localPrunes   atomic.Int64
@@ -165,8 +182,14 @@ type engine struct {
 	peakBytes     atomic.Int64
 }
 
+// workerRes is one worker's reusable per-state workspace.
+type workerRes struct {
+	view *props.View
+	evb  eventBuf
+}
+
 func newEngine(s *Search, workers int, prune bool) *engine {
-	return &engine{
+	e := &engine{
 		s:       s,
 		workers: workers,
 		prune:   prune,
@@ -174,7 +197,12 @@ func newEngine(s *Search, workers int, prune bool) *engine {
 		visited: newShardedSet(),
 		local:   newShardedSet(),
 		coll:    newCollector(s.cfg.MaxViolations),
+		res:     make([]workerRes, workers),
 	}
+	for w := range e.res {
+		e.res[w].view = props.NewView()
+	}
+	return e
 }
 
 func (e *engine) run(start *GState) *Result {
@@ -220,7 +248,7 @@ func (e *engine) processLevel(level []*searchNode) []*searchNode {
 			if !e.bdg.admitState() {
 				return nil
 			}
-			next = append(next, e.process(node, &claims)...)
+			next = append(next, e.process(node, &claims, &e.res[0])...)
 			if e.bdg.exhausted() {
 				break
 			}
@@ -241,7 +269,7 @@ func (e *engine) processLevel(level []*searchNode) []*searchNode {
 				if i >= len(level) || e.bdg.exhausted() || !e.bdg.admitState() {
 					break
 				}
-				parts[w] = append(parts[w], e.process(level[i], &claims[w])...)
+				parts[w] = append(parts[w], e.process(level[i], &claims[w], &e.res[w])...)
 			}
 		}(w)
 	}
@@ -268,7 +296,9 @@ func (e *engine) growFrontier(delta int64) {
 // (cloning before every handler invocation, so the shared predecessor state
 // is never written), and return the newly claimed children. Consequence
 // (node, local state) claims go to *claims for the level-barrier merge.
-func (e *engine) process(node *searchNode, claims *[]uint64) []*searchNode {
+// res is the calling worker's reusable workspace: the property-check view
+// and enumeration buffers are refilled per state instead of reallocated.
+func (e *engine) process(node *searchNode, claims *[]uint64, res *workerRes) []*searchNode {
 	e.frontierBytes.Add(-int64(node.state.EncodedSize()))
 	atomicMax(&e.maxDepth, int64(node.depth))
 
@@ -277,7 +307,8 @@ func (e *engine) process(node *searchNode, claims *[]uint64) []*searchNode {
 	// does: a start state that already violates one property must not
 	// mask deeper, different bugs.
 	pathViolated := node.violated
-	if violated := e.s.cfg.Props.Check(node.state.View()); len(violated) > 0 {
+	node.state.FillView(res.view)
+	if violated := e.s.cfg.Props.Check(res.view); len(violated) > 0 {
 		var onset []string
 		for _, p := range violated {
 			if !pathViolated[p] {
@@ -325,20 +356,20 @@ func (e *engine) process(node *searchNode, claims *[]uint64) []*searchNode {
 		})
 	}
 
-	network, internal := e.s.EnabledEvents(node.state)
+	network, ids, internal := e.s.enabledInto(node.state, &res.evb)
 	// H_M: always process all network handlers (Figure 8 line 13).
 	for _, ev := range network {
 		expand(ev)
 	}
 	// H_A: internal actions, pruned per (node, local state) in
 	// consequence mode (Figure 8 lines 16-20).
-	for _, id := range node.state.Nodes() {
-		evs := internal[id]
+	for i, id := range ids {
+		evs := internal[i]
 		if len(evs) == 0 {
 			continue
 		}
 		if e.prune {
-			lh := node.state.nodes[id].localHash(id)
+			lh := node.state.nodes[id].localHash()
 			if e.local.Has(lh) {
 				e.localPrunes.Add(int64(len(evs)))
 				continue

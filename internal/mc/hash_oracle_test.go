@@ -75,7 +75,7 @@ func TestHashOracleFiltered(t *testing.T) {
 		s := NewSearch(Config{Props: poisonAt(1000), Factory: newToy})
 		next := s.applyFiltered(g, sm.MsgEvent{From: 1, To: 2, Msg: ping{N: 1}}, sm.Filter{
 			Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping", BreakConn: breakConn,
-		})
+		}, getScratch())
 		if next == nil {
 			t.Fatal("filtered apply failed")
 		}
@@ -105,6 +105,94 @@ func TestHashMatchesFullHashOnConstruction(t *testing.T) {
 		g := mk()
 		if got, want := g.Hash(), g.FullHash(); got != want {
 			t.Fatalf("incremental %#x != from-scratch %#x", got, want)
+		}
+	}
+}
+
+// sameBacking reports whether two byte slices share a backing array (the
+// segment-sharing contract: equal segments are aliased, not copied).
+func sameBacking(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// TestSplitEncodingSegmentSharing covers the service/timer encoding split:
+// a successor whose handler left one segment byte-identical must share that
+// segment's storage with its parent, and the recombined hashes must still
+// match the from-scratch FullHash oracle (which re-encodes both segments as
+// one buffer, bypassing the split entirely).
+func TestSplitEncodingSegmentSharing(t *testing.T) {
+	s := NewSearch(Config{Props: poisonAt(1000), Factory: newToy})
+	g := multiTimerStart()
+	parent := g.Node(1)
+
+	// "boom" has no handler logic: only the timer set changes, so the
+	// service segment must be shared with the parent.
+	next := s.ApplyEvent(g, sm.TimerEvent{At: 1, Timer: "boom"})
+	if next == nil {
+		t.Fatal("boom timer not applicable")
+	}
+	child := next.Node(1)
+	if !sameBacking(parent.svcEnc, child.svcEnc) {
+		t.Error("timer-only successor did not share the parent's service encoding")
+	}
+	if sameBacking(parent.tmEnc, child.tmEnc) {
+		t.Error("timer segment changed but was shared")
+	}
+	if got, want := next.Hash(), next.FullHash(); got != want {
+		t.Fatalf("timer-only successor: incremental %#x != from-scratch %#x", got, want)
+	}
+
+	// "tick" increments the counter and re-arms itself: the service
+	// segment changes, the timer set does not — the timer segment (and the
+	// sorted name list) must be shared.
+	next = s.ApplyEvent(g, sm.TimerEvent{At: 1, Timer: "tick"})
+	if next == nil {
+		t.Fatal("tick timer not applicable")
+	}
+	child = next.Node(1)
+	if sameBacking(parent.svcEnc, child.svcEnc) {
+		t.Error("service segment changed but was shared")
+	}
+	if !sameBacking(parent.tmEnc, child.tmEnc) {
+		t.Error("service-only successor did not share the parent's timer encoding")
+	}
+	if got, want := next.Hash(), next.FullHash(); got != want {
+		t.Fatalf("service-only successor: incremental %#x != from-scratch %#x", got, want)
+	}
+
+	// Sharing must also survive a chain: grandchild via another no-op
+	// timer still aliases the original service segment.
+	next2 := s.ApplyEvent(next, sm.TimerEvent{At: 1, Timer: "zap"})
+	if next2 == nil {
+		t.Fatal("zap timer not applicable")
+	}
+	if !sameBacking(next.Node(1).svcEnc, next2.Node(1).svcEnc) {
+		t.Error("segment sharing broke across a successor chain")
+	}
+	if got, want := next2.Hash(), next2.FullHash(); got != want {
+		t.Fatalf("chained successor: incremental %#x != from-scratch %#x", got, want)
+	}
+}
+
+// TestSplitEncodingLocalHash: the consequence-prediction local hash derived
+// from the split segments must equal the hash of the old combined encoding
+// (NodeID, length-prefixed service||timers), for both shared and copied
+// segments.
+func TestSplitEncodingLocalHash(t *testing.T) {
+	g := multiTimerStart()
+	for _, id := range g.Nodes() {
+		ns := g.Node(id)
+		e := sm.NewEncoder()
+		ne := sm.NewEncoder()
+		ns.Svc.EncodeState(ne)
+		encodeTimers(ne, ns.Timers)
+		e.NodeID(id)
+		e.Bytes2(ne.Bytes())
+		if got, want := ns.localHash(), e.Hash(); got != want {
+			t.Errorf("node %v: split localHash %#x != combined-encoding hash %#x", id, got, want)
+		}
+		if got, want := ns.chash, e.DomainHash(domainNode); got != want {
+			t.Errorf("node %v: split chash %#x != combined-encoding domain hash %#x", id, got, want)
 		}
 	}
 }

@@ -232,7 +232,7 @@ func TestApplyFilteredDropsMessage(t *testing.T) {
 	g := twoNodeStart()
 	s := NewSearch(Config{Props: poisonAt(3), Factory: newToy})
 	ev := sm.MsgEvent{From: 1, To: 2, Msg: ping{N: 1}}
-	next := s.applyFiltered(g, ev, sm.Filter{Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping"})
+	next := s.applyFiltered(g, ev, sm.Filter{Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping"}, getScratch())
 	if next == nil {
 		t.Fatal("filtered apply failed on an in-flight message")
 	}
@@ -255,7 +255,7 @@ func TestApplyFilteredBreakConn(t *testing.T) {
 	ev := sm.MsgEvent{From: 1, To: 2, Msg: ping{N: 1}}
 	next := s.applyFiltered(g, ev, sm.Filter{
 		Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping", BreakConn: true,
-	})
+	}, getScratch())
 	if next == nil {
 		t.Fatal("filtered apply failed")
 	}
@@ -278,10 +278,10 @@ func TestApplyFilteredInapplicable(t *testing.T) {
 	g := twoNodeStart()
 	s := NewSearch(Config{Props: poisonAt(3), Factory: newToy})
 	f := sm.Filter{Kind: sm.FilterMessage, Node: 2, From: 1, MsgType: "Ping"}
-	if s.applyFiltered(g, sm.TimerEvent{At: 1, Timer: "tick"}, f) != nil {
+	if s.applyFiltered(g, sm.TimerEvent{At: 1, Timer: "tick"}, f, getScratch()) != nil {
 		t.Fatal("filtered a timer event into a successor")
 	}
-	if s.applyFiltered(g, sm.MsgEvent{From: 2, To: 1, Msg: ping{N: 9}}, f) != nil {
+	if s.applyFiltered(g, sm.MsgEvent{From: 2, To: 1, Msg: ping{N: 9}}, f, getScratch()) != nil {
 		t.Fatal("filtered a message that is not in flight")
 	}
 }

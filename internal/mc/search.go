@@ -231,7 +231,7 @@ func (s *Search) filterFor(ev sm.Event) (sm.Filter, bool) {
 // a filtered message is dropped and, if BreakConn, an RST notification is
 // queued to the sender; filtered timers are rescheduled (no state change,
 // so no successor); filtered app calls are suppressed.
-func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
+func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter, sc *scratch) *GState {
 	me, ok := ev.(sm.MsgEvent)
 	if !ok {
 		return nil
@@ -244,7 +244,7 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
 	next.removeMsgAt(i)
 	if f.BreakConn {
 		if _, known := next.nodes[me.From]; known {
-			next.addMsg(InFlight{From: me.To, To: me.From, Msg: nil})
+			next.addMsg(InFlight{From: me.To, To: me.From, Msg: nil}, sc)
 		}
 	}
 	return next
@@ -256,12 +256,20 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter) *GState {
 // and hash caches are populated at state construction, so ApplyEvent is
 // safe to call from concurrent workers on a shared predecessor. The
 // successor's fingerprint is maintained incrementally during construction,
-// so its Hash is ready in O(changed components).
+// so its Hash is ready in O(changed components). All transient workspace —
+// scratch encoder, handler context, per-edge random stream — comes from a
+// pooled scratch that is released before returning, so nothing reachable
+// from the successor aliases it.
 func (s *Search) ApplyEvent(g *GState, ev sm.Event) *GState {
+	sc := getScratch()
+	var next *GState
 	if f, ok := s.filterFor(ev); ok {
-		return s.applyFiltered(g, ev, f)
+		next = s.applyFiltered(g, ev, f, sc)
+	} else {
+		next = s.apply(g, ev, sc)
 	}
-	return s.apply(g, ev)
+	putScratch(sc)
+	return next
 }
 
 // Run explores from the start state and returns the result. The start
@@ -283,7 +291,9 @@ func (s *Search) Run(start *GState) *Result {
 // state, or nil.
 func (s *Search) Replay(start *GState, path []sm.Event) []string {
 	g := start
-	if violated := s.cfg.Props.Check(g.View()); len(violated) > 0 {
+	v := props.NewView() // reused across every step of the replay
+	g.FillView(v)
+	if violated := s.cfg.Props.Check(v); len(violated) > 0 {
 		return violated
 	}
 	for _, ev := range path {
@@ -294,7 +304,8 @@ func (s *Search) Replay(start *GState, path []sm.Event) []string {
 			return nil
 		}
 		g = next
-		if violated := s.cfg.Props.Check(g.View()); len(violated) > 0 {
+		g.FillView(v)
+		if violated := s.cfg.Props.Check(v); len(violated) > 0 {
 			return violated
 		}
 	}

@@ -13,7 +13,8 @@
 package mc
 
 import (
-	"sort"
+	"bytes"
+	"slices"
 
 	"crystalball/internal/props"
 	"crystalball/internal/sm"
@@ -36,13 +37,25 @@ const (
 // that immutability, the canonical encoding and the derived hashes are
 // computed once — by the constructing goroutine, before the state is shared
 // — and reused by every global state the node state appears in.
+//
+// The canonical encoding is held as two segments, service then timers,
+// whose concatenation is the single encoding earlier revisions stored. A
+// successor that changed only one segment shares the other segment's bytes
+// (and, for timers, the sorted name list) with its parent, so the common
+// timer-only and send-only handlers never copy the unchanged segment.
 type NodeState struct {
 	Svc    sm.Service
 	Timers map[sm.TimerID]bool
-	enc    []byte // canonical encoding of (Svc, Timers), set by finalize
-	chash  uint64 // domain-tagged component hash of (id, enc), set by finalize
-	lhash  uint64 // consequence-prediction local hash, set by finalize
+
+	svcEnc     []byte   // canonical encoding of Svc, set by finalize
+	tmEnc      []byte   // canonical encoding of Timers, set by finalize
+	timerNames []string // sorted pending-timer names, aligned with tmEnc
+	chash      uint64   // domain-tagged component hash, set by finalize
+	lhash      uint64   // consequence-prediction local hash, set by finalize
 }
+
+// encLen is the length of the node's canonical encoding (both segments).
+func (ns *NodeState) encLen() int { return len(ns.svcEnc) + len(ns.tmEnc) }
 
 func (ns *NodeState) clone() *NodeState {
 	timers := make(map[sm.TimerID]bool, len(ns.Timers))
@@ -54,32 +67,62 @@ func (ns *NodeState) clone() *NodeState {
 	return &NodeState{Svc: ns.Svc.Clone(), Timers: timers}
 }
 
-// encoding returns the canonical encoding. finalize populates it before the
-// state is shared, so concurrent readers see a pure read.
-func (ns *NodeState) encoding() []byte {
-	if ns.enc == nil {
-		e := sm.NewEncoder()
-		ns.Svc.EncodeState(e)
-		encodeTimers(e, ns.Timers)
-		out := make([]byte, e.Len())
-		copy(out, e.Bytes())
-		ns.enc = out
-	}
-	return ns.enc
-}
-
-// finalize computes and caches the canonical encoding plus the two hashes
-// derived from it: the global-fingerprint component hash and the
+// finalize computes and caches the canonical encoding segments plus the two
+// hashes derived from them: the global-fingerprint component hash and the
 // consequence-prediction local hash. It must be called exactly once, by the
 // goroutine constructing the enclosing GState, after all handler mutations
 // are applied and before the state is published to other workers — from
 // then on every access is a pure read, safe under -race.
-func (ns *NodeState) finalize(id sm.NodeID) {
-	e := sm.NewEncoder()
-	e.NodeID(id)
-	e.Bytes2(ns.encoding())
-	ns.chash = e.DomainHash(domainNode)
-	ns.lhash = e.Hash()
+//
+// parent, when non-nil, is the node state this one was cloned from: a
+// segment that encodes byte-identically to the parent's shares the parent's
+// slice instead of copying (NodeStates are immutable, so sharing is always
+// safe). Both segments are encoded into sc's reusable buffer, so finalize
+// allocates only for segments that actually changed.
+func (ns *NodeState) finalize(id sm.NodeID, parent *NodeState, sc *scratch) {
+	e := &sc.enc
+	e.Reset()
+	ns.Svc.EncodeState(e)
+	svcLen := e.Len()
+	names := sc.names[:0]
+	for t, ok := range ns.Timers {
+		if ok {
+			names = append(names, string(t))
+		}
+	}
+	slices.Sort(names)
+	sc.names = names
+	e.Uint32(uint32(len(names)))
+	for _, t := range names {
+		e.String(t)
+	}
+	buf := e.Bytes()
+	svcSeg, tmSeg := buf[:svcLen], buf[svcLen:]
+	if parent != nil && bytes.Equal(parent.svcEnc, svcSeg) {
+		ns.svcEnc = parent.svcEnc
+	} else {
+		ns.svcEnc = append([]byte(nil), svcSeg...)
+	}
+	if parent != nil && bytes.Equal(parent.tmEnc, tmSeg) {
+		ns.tmEnc, ns.timerNames = parent.tmEnc, parent.timerNames
+	} else {
+		ns.tmEnc = append([]byte(nil), tmSeg...)
+		ns.timerNames = append([]string(nil), names...)
+	}
+	// The hashes run over the same bytes as ever: NodeID(id), then the
+	// length-prefixed concatenation of both segments — buf is exactly that
+	// concatenation, so no combined copy is materialised.
+	var hdr [8]byte
+	hdr[0] = byte(uint32(id) >> 24)
+	hdr[1] = byte(uint32(id) >> 16)
+	hdr[2] = byte(uint32(id) >> 8)
+	hdr[3] = byte(uint32(id))
+	hdr[4] = byte(uint32(len(buf)) >> 24)
+	hdr[5] = byte(uint32(len(buf)) >> 16)
+	hdr[6] = byte(uint32(len(buf)) >> 8)
+	hdr[7] = byte(uint32(len(buf)))
+	ns.chash = sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aByte(sm.FNV64aInit, domainNode), hdr[:]), buf)
+	ns.lhash = sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aInit, hdr[:]), buf)
 }
 
 // localHash returns the hash of the node-local state (service state +
@@ -87,32 +130,19 @@ func (ns *NodeState) finalize(id sm.NodeID) {
 // this. The value is precomputed by finalize — every NodeState reaches a
 // GState through setNode, runHandler or applyReset, all of which finalize
 // before publishing — so this is a pure read on shared states.
-func (ns *NodeState) localHash(id sm.NodeID) uint64 { return ns.lhash }
-
-func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
-	names := make([]string, 0, len(timers))
-	for t, ok := range timers {
-		if ok {
-			names = append(names, string(t))
-		}
-	}
-	sort.Strings(names)
-	e.Uint32(uint32(len(names)))
-	for _, t := range names {
-		e.String(t)
-	}
-}
+func (ns *NodeState) localHash() uint64 { return ns.lhash }
 
 // InFlight is one in-flight network item: a service message, or (when Msg
 // is nil) an RST notification telling To that its connection to From broke.
-// The component hash is computed when the item is added to a GState
-// (messages are immutable), so hashing and enumeration never write to
-// shared state.
+// The component hash and footprint size are computed when the item is added
+// to a GState (messages are immutable), so hashing and enumeration never
+// write to shared state.
 type InFlight struct {
 	From  sm.NodeID
 	To    sm.NodeID
 	Msg   sm.Message // nil => RST notification
 	chash uint64     // domain-tagged component hash, set at construction
+	sz    int        // EncodedSize contribution, set at construction
 }
 
 // RST reports whether the item is a connection-break notification.
@@ -132,20 +162,30 @@ func (f InFlight) encode(e *sm.Encoder) {
 
 type pair struct{ a, b sm.NodeID }
 
-// staleComp returns the fingerprint component hash of one stale pair.
-func staleComp(p pair) uint64 {
-	e := sm.NewEncoder()
+// staleComp returns the fingerprint component hash of one stale pair,
+// encoding through the scratch encoder.
+func staleComp(p pair, sc *scratch) uint64 {
+	e := &sc.enc
+	e.Reset()
 	e.NodeID(p.a)
 	e.NodeID(p.b)
 	return e.DomainHash(domainStale)
 }
 
 // resetsComp returns the fingerprint component hash of the resets counter.
-func resetsComp(n int) uint64 {
-	e := sm.NewEncoder()
+func resetsComp(n int, sc *scratch) uint64 {
+	e := &sc.enc
+	e.Reset()
 	e.Int(n)
 	return e.DomainHash(domainResets)
 }
+
+// resetsComp0 is resetsComp(0), the fingerprint seed of a fresh state.
+var resetsComp0 = func() uint64 {
+	sc := getScratch()
+	defer putScratch(sc)
+	return resetsComp(0, sc)
+}()
 
 // GState is a global system state: the paper's (L, I) plus transport
 // bookkeeping. GStates are persistent: successors share unmodified node
@@ -157,13 +197,17 @@ func resetsComp(n int) uint64 {
 // fingerprint is independent of bookkeeping order (in-flight items hash as
 // a multiset, as the paper's model requires), and every mutation helper
 // below updates the sum in O(1) — a successor's hash costs O(changed
-// components) instead of a full re-encoding of every node.
+// components) instead of a full re-encoding of every node. The encoded
+// footprint (EncodedSize) and the sorted node-id list (Nodes) are
+// maintained the same way, so neither re-walks the state per query.
 type GState struct {
-	nodes  map[sm.NodeID]*NodeState
-	msgs   []InFlight
-	stale  map[pair]bool // (sender, peer): sender holds a stale socket to peer
-	resets int           // reset events taken on this path (bounds fault depth)
-	hsum   uint64        // incrementally maintained commutative fingerprint
+	nodes   map[sm.NodeID]*NodeState
+	ids     []sm.NodeID // sorted node ids; shared with successors (nodes are never removed)
+	msgs    []InFlight
+	stale   map[pair]bool // (sender, peer): sender holds a stale socket to peer; nil until first pair
+	resets  int           // reset events taken on this path (bounds fault depth)
+	hsum    uint64        // incrementally maintained commutative fingerprint
+	encSize int           // incrementally maintained EncodedSize
 }
 
 // NewGState builds a global state from per-node services and timer sets.
@@ -172,8 +216,7 @@ type GState struct {
 func NewGState() *GState {
 	return &GState{
 		nodes: make(map[sm.NodeID]*NodeState),
-		stale: make(map[pair]bool),
-		hsum:  resetsComp(0),
+		hsum:  resetsComp0,
 	}
 }
 
@@ -186,73 +229,111 @@ func (g *GState) AddNode(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]boo
 			tm[t] = true
 		}
 	}
-	g.setNode(id, &NodeState{Svc: svc, Timers: tm})
+	sc := getScratch()
+	g.setNode(id, &NodeState{Svc: svc, Timers: tm}, sc)
+	putScratch(sc)
 }
 
 // setNode installs ns as id's local state, finalizing its encoding/hashes
-// and updating the fingerprint (removing any previous state's component).
-func (g *GState) setNode(id sm.NodeID, ns *NodeState) {
-	if old := g.nodes[id]; old != nil {
+// and updating the fingerprint, footprint and sorted id list (removing any
+// previous state's contribution).
+func (g *GState) setNode(id sm.NodeID, ns *NodeState, sc *scratch) {
+	old := g.nodes[id]
+	if old != nil {
 		g.hsum -= old.chash // every installed node is finalized
+		g.encSize -= 4 + old.encLen()
 	}
-	ns.finalize(id)
+	ns.finalize(id, old, sc)
 	g.hsum += ns.chash
+	g.encSize += 4 + ns.encLen()
+	if old == nil {
+		// Copy-insert: the ids slice may be shared with predecessor
+		// states, so never mutate it in place. Insertion only happens at
+		// state-construction time (exploration never adds nodes).
+		pos, _ := slices.BinarySearch(g.ids, id)
+		ids := make([]sm.NodeID, 0, len(g.ids)+1)
+		ids = append(ids, g.ids[:pos]...)
+		ids = append(ids, id)
+		ids = append(ids, g.ids[pos:]...)
+		g.ids = ids
+	}
 	g.nodes[id] = ns
+}
+
+// swapNode replaces id's already-finalized local state with the finalized
+// nw, adjusting fingerprint and footprint. The node-id list is unchanged.
+func (g *GState) swapNode(id sm.NodeID, old, nw *NodeState) {
+	g.hsum += nw.chash - old.chash
+	g.encSize += nw.encLen() - old.encLen()
+	g.nodes[id] = nw
 }
 
 // AddMessage inserts an in-flight service message.
 func (g *GState) AddMessage(from, to sm.NodeID, msg sm.Message) {
-	g.addMsg(InFlight{From: from, To: to, Msg: msg})
+	sc := getScratch()
+	g.addMsg(InFlight{From: from, To: to, Msg: msg}, sc)
+	putScratch(sc)
 }
 
-// addMsg appends an in-flight item, computing its component hash at
-// construction time and folding it into the fingerprint.
-func (g *GState) addMsg(m InFlight) {
-	e := sm.NewEncoder()
+// addMsg appends an in-flight item, computing its component hash and size
+// at construction time and folding them into the running totals.
+func (g *GState) addMsg(m InFlight, sc *scratch) {
+	e := &sc.enc
+	e.Reset()
 	m.encode(e)
 	m.chash = e.DomainHash(domainMsg)
+	m.sz = 13
+	if m.Msg != nil {
+		m.sz += m.Msg.Size()
+	}
 	g.hsum += m.chash
+	g.encSize += m.sz
 	g.msgs = append(g.msgs, m)
 }
 
-// removeMsgAt deletes the i-th in-flight item and updates the fingerprint.
+// removeMsgAt deletes the i-th in-flight item and updates the totals. The
+// slice is shifted in place: every caller operates on a successor whose
+// msgs slice was freshly copied by shallowClone, so no other state aliases
+// it.
 func (g *GState) removeMsgAt(i int) {
 	g.hsum -= g.msgs[i].chash
-	g.msgs = removeMsg(g.msgs, i)
+	g.encSize -= g.msgs[i].sz
+	copy(g.msgs[i:], g.msgs[i+1:])
+	g.msgs = g.msgs[:len(g.msgs)-1]
 }
 
-// setStale records a stale pair, updating the fingerprint if it was absent.
-func (g *GState) setStale(p pair) {
+// setStale records a stale pair, updating the totals if it was absent.
+func (g *GState) setStale(p pair, sc *scratch) {
 	if !g.stale[p] {
+		if g.stale == nil {
+			g.stale = make(map[pair]bool)
+		}
 		g.stale[p] = true
-		g.hsum += staleComp(p)
+		g.hsum += staleComp(p, sc)
+		g.encSize += 16
 	}
 }
 
-// clearStale removes a stale pair, updating the fingerprint if present.
-func (g *GState) clearStale(p pair) {
+// clearStale removes a stale pair, updating the totals if present.
+func (g *GState) clearStale(p pair, sc *scratch) {
 	if g.stale[p] {
 		delete(g.stale, p)
-		g.hsum -= staleComp(p)
+		g.hsum -= staleComp(p, sc)
+		g.encSize -= 16
 	}
 }
 
 // bumpResets increments the reset counter, swapping its component hash.
-func (g *GState) bumpResets() {
-	g.hsum -= resetsComp(g.resets)
+func (g *GState) bumpResets(sc *scratch) {
+	g.hsum -= resetsComp(g.resets, sc)
 	g.resets++
-	g.hsum += resetsComp(g.resets)
+	g.hsum += resetsComp(g.resets, sc)
 }
 
-// Nodes returns the node ids present, ascending.
-func (g *GState) Nodes() []sm.NodeID {
-	ids := make([]sm.NodeID, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
+// Nodes returns the node ids present, ascending. The slice is maintained
+// incrementally and shared with successor states: callers must treat it as
+// read-only.
+func (g *GState) Nodes() []sm.NodeID { return g.ids }
 
 // Node returns the local state of id, or nil if absent from the snapshot.
 func (g *GState) Node(id sm.NodeID) *NodeState { return g.nodes[id] }
@@ -260,13 +341,24 @@ func (g *GState) Node(id sm.NodeID) *NodeState { return g.nodes[id] }
 // InFlightCount reports the number of in-flight items.
 func (g *GState) InFlightCount() int { return len(g.msgs) }
 
-// View renders the state for property evaluation.
+// View renders the state for property evaluation, allocating a fresh view.
+// Hot paths (the engine's property checks) use FillView with a reused view
+// instead.
 func (g *GState) View() *props.View {
 	v := props.NewView()
-	for id, ns := range g.nodes {
+	g.FillView(v)
+	return v
+}
+
+// FillView resets v and loads this state's nodes into it, reusing v's
+// storage. The view is filled in ascending node order, so View.IDs needs no
+// re-sort.
+func (g *GState) FillView(v *props.View) {
+	v.Reset()
+	for _, id := range g.ids {
+		ns := g.nodes[id]
 		v.Add(id, ns.Svc, ns.Timers)
 	}
-	return v
 }
 
 // Hash returns the state fingerprint: the commutative sum of the
@@ -292,10 +384,11 @@ func (g *GState) Hash() uint64 {
 }
 
 // FullHash recomputes the fingerprint from scratch — re-encoding every
-// service, message and stale pair, bypassing all cached encodings — and
-// must always equal Hash. It is the slow-path oracle the differential
-// property tests check the incremental maintenance against, and a fallback
-// for tooling that constructs states outside the checker's mutators.
+// service, message and stale pair, bypassing all cached encodings and
+// segment sharing — and must always equal Hash. It is the slow-path oracle
+// the differential property tests check the incremental maintenance
+// against, and a fallback for tooling that constructs states outside the
+// checker's mutators.
 func (g *GState) FullHash() uint64 {
 	var sum uint64
 	for id, ns := range g.nodes {
@@ -314,22 +407,48 @@ func (g *GState) FullHash() uint64 {
 	}
 	for p, ok := range g.stale {
 		if ok {
-			sum += staleComp(p)
+			e := sm.NewEncoder()
+			e.NodeID(p.a)
+			e.NodeID(p.b)
+			sum += e.DomainHash(domainStale)
 		}
 	}
-	sum += resetsComp(g.resets)
+	e := sm.NewEncoder()
+	e.Int(g.resets)
+	sum += e.DomainHash(domainResets)
 	if sum == 0 {
 		return 1
 	}
 	return sum
 }
 
+// encodeTimers writes the canonical timer-set encoding; used only by the
+// from-scratch FullHash oracle (finalize encodes the segment inline).
+func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
+	names := make([]string, 0, len(timers))
+	for t, ok := range timers {
+		if ok {
+			names = append(names, string(t))
+		}
+	}
+	slices.Sort(names)
+	e.Uint32(uint32(len(names)))
+	for _, t := range names {
+		e.String(t)
+	}
+}
+
 // EncodedSize approximates the state's in-memory footprint for the memory
-// experiments (paper Figures 15 and 16).
-func (g *GState) EncodedSize() int {
+// experiments (paper Figures 15 and 16). It is maintained incrementally by
+// every mutation helper, so reading it is O(1).
+func (g *GState) EncodedSize() int { return g.encSize }
+
+// fullEncodedSize recomputes EncodedSize from scratch; the differential
+// oracle for the incremental bookkeeping.
+func (g *GState) fullEncodedSize() int {
 	n := 0
 	for _, ns := range g.nodes {
-		n += 4 + len(ns.encoding())
+		n += 4 + ns.encLen()
 	}
 	for _, m := range g.msgs {
 		n += 13
@@ -340,9 +459,10 @@ func (g *GState) EncodedSize() int {
 	return n + 16*len(g.stale)
 }
 
-// shallowClone copies the state's containers but shares all node states and
-// messages; callers then replace what the event changes, keeping the
-// inherited fingerprint in sync through the mutation helpers.
+// shallowClone copies the state's containers but shares all node states,
+// messages and the sorted id list; callers then replace what the event
+// changes, keeping the inherited fingerprint and footprint in sync through
+// the mutation helpers.
 func (g *GState) shallowClone() *GState {
 	nodes := make(map[sm.NodeID]*NodeState, len(g.nodes))
 	for id, ns := range g.nodes {
@@ -350,18 +470,28 @@ func (g *GState) shallowClone() *GState {
 	}
 	msgs := make([]InFlight, len(g.msgs))
 	copy(msgs, g.msgs)
-	stale := make(map[pair]bool, len(g.stale))
-	for p, ok := range g.stale {
-		if ok {
-			stale[p] = true
+	var stale map[pair]bool
+	if len(g.stale) > 0 {
+		stale = make(map[pair]bool, len(g.stale))
+		for p, ok := range g.stale {
+			if ok {
+				stale[p] = true
+			}
 		}
 	}
-	return &GState{nodes: nodes, msgs: msgs, stale: stale, resets: g.resets, hsum: g.hsum}
+	return &GState{
+		nodes: nodes, ids: g.ids, msgs: msgs, stale: stale,
+		resets: g.resets, hsum: g.hsum, encSize: g.encSize,
+	}
 }
 
 // MarkStale records that `from` holds a stale socket to `peer` (peer reset
 // while from was connected); exported for tests and snapshot integration.
-func (g *GState) MarkStale(from, peer sm.NodeID) { g.setStale(pair{from, peer}) }
+func (g *GState) MarkStale(from, peer sm.NodeID) {
+	sc := getScratch()
+	g.setStale(pair{from, peer}, sc)
+	putScratch(sc)
+}
 
 // Stale reports whether from's socket to peer is stale.
 func (g *GState) Stale(from, peer sm.NodeID) bool { return g.stale[pair{from, peer}] }

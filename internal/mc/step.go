@@ -1,15 +1,15 @@
 package mc
 
 import (
-	"hash/fnv"
 	"math/rand"
-	"sort"
 
 	"crystalball/internal/sm"
 )
 
 // mcContext implements sm.Context for handler execution inside the checker.
 // Sends and timer changes are captured and folded into the successor state.
+// The context lives in the per-worker scratch and is reset between events;
+// handlers use it only for the duration of one invocation.
 type mcContext struct {
 	self  sm.NodeID
 	ns    *NodeState // the cloned node state being mutated
@@ -31,19 +31,15 @@ func (c *mcContext) TimerPending(t sm.TimerID) bool { return c.ns.Timers[t] }
 
 func (c *mcContext) Rand() *rand.Rand { return c.rng }
 
-// edgeRNG derives a deterministic random stream for executing event ev from
-// state g, so exploration (and replay) is reproducible: the paper notes "we
-// deterministically replay pseudo-random number generation".
-func edgeRNG(seed int64, g *GState, ev sm.Event) *rand.Rand {
-	h := fnv.New64a()
-	var b [8]byte
-	hash := g.Hash()
-	for i := 0; i < 8; i++ {
-		b[i] = byte(hash >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(ev.Describe()))
-	return sm.NewRand(seed ^ int64(h.Sum64()))
+// edgeRNG returns sc's re-seedable random stream seeded for executing event
+// ev from state g, so exploration (and replay) is reproducible: the paper
+// notes "we deterministically replay pseudo-random number generation". The
+// stream is identical to a freshly constructed sm.NewRand with the same
+// derived seed (Rand.Seed resets all internal state), but reuses the
+// scratch's Rand so the hot path allocates nothing.
+func edgeRNG(seed int64, g *GState, ev sm.Event, sc *scratch) *rand.Rand {
+	sc.rnd.Seed(edgeSeed(seed, g, ev))
+	return sc.rnd
 }
 
 // apply executes event ev on state g and returns the successor state, or
@@ -52,19 +48,20 @@ func edgeRNG(seed int64, g *GState, ev sm.Event) *rand.Rand {
 // below maintains the state fingerprint incrementally: the mutation helpers
 // (addMsg/removeMsgAt/setStale/clearStale/bumpResets) and the node swap in
 // runHandler each adjust the commutative hash sum in O(1), so a successor's
-// Hash is ready in O(changed components) when apply returns.
-func (s *Search) apply(g *GState, ev sm.Event) *GState {
+// Hash is ready in O(changed components) when apply returns. All transient
+// workspace (encoders, handler context, random stream) comes from sc.
+func (s *Search) apply(g *GState, ev sm.Event, sc *scratch) *GState {
 	switch e := ev.(type) {
 	case sm.MsgEvent:
-		return s.applyMessage(g, e)
+		return s.applyMessage(g, e, sc)
 	case sm.TimerEvent:
-		return s.applyTimer(g, e)
+		return s.applyTimer(g, e, sc)
 	case sm.AppEvent:
-		return s.applyApp(g, e)
+		return s.applyApp(g, e, sc)
 	case sm.ResetEvent:
-		return s.applyReset(g, e)
+		return s.applyReset(g, e, sc)
 	case sm.ErrorEvent:
-		return s.applyError(g, e)
+		return s.applyError(g, e, sc)
 	case sm.DropEvent:
 		return s.applyDrop(g, e)
 	default:
@@ -74,7 +71,8 @@ func (s *Search) apply(g *GState, ev sm.Event) *GState {
 
 // findMsg locates the first in-flight item matching the event.
 func findMsg(g *GState, from, to sm.NodeID, msgType string, rst bool) int {
-	for i, m := range g.msgs {
+	for i := range g.msgs {
+		m := &g.msgs[i]
 		if m.From != from || m.To != to {
 			continue
 		}
@@ -91,17 +89,11 @@ func findMsg(g *GState, from, to sm.NodeID, msgType string, rst bool) int {
 	return -1
 }
 
-func removeMsg(msgs []InFlight, i int) []InFlight {
-	out := make([]InFlight, 0, len(msgs)-1)
-	out = append(out, msgs[:i]...)
-	return append(out, msgs[i+1:]...)
-}
-
 // dispatchSends folds a handler's captured sends into the successor:
 // messages to nodes outside the snapshot go to the dummy node (dropped,
 // counted), and messages over a stale socket become an error notification
 // back to the sender, mirroring the live transport.
-func (s *Search) dispatchSends(next *GState, ctx *mcContext) {
+func (s *Search) dispatchSends(next *GState, ctx *mcContext, sc *scratch) {
 	for _, sd := range ctx.sends {
 		if _, known := next.nodes[sd.To]; !known {
 			s.dummyRedirects.Add(1)
@@ -111,40 +103,40 @@ func (s *Search) dispatchSends(next *GState, ctx *mcContext) {
 			// Stale socket discovered: message lost, sender will
 			// observe a transport error; the pair is fresh again
 			// afterwards (next send reconnects).
-			next.clearStale(pair{sd.From, sd.To})
-			next.addMsg(InFlight{From: sd.To, To: sd.From, Msg: nil})
+			next.clearStale(pair{sd.From, sd.To}, sc)
+			next.addMsg(InFlight{From: sd.To, To: sd.From, Msg: nil}, sc)
 			continue
 		}
-		next.addMsg(sd)
+		next.addMsg(sd, sc)
 	}
 }
 
-func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, run func(ctx *mcContext)) *GState {
+func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, sc *scratch, run func(ctx *mcContext)) *GState {
 	ns := g.nodes[node]
 	if ns == nil {
 		return nil
 	}
 	next := g.shallowClone()
 	cloned := ns.clone()
-	next.nodes[node] = cloned
-	next.hsum -= ns.chash
-	ctx := &mcContext{self: node, ns: cloned, rng: edgeRNG(s.cfg.Seed, g, ev)}
+	ctx := &sc.ctx
+	ctx.self, ctx.ns, ctx.sends, ctx.rng = node, cloned, ctx.sends[:0], edgeRNG(s.cfg.Seed, g, ev, sc)
 	run(ctx)
-	s.dispatchSends(next, ctx)
-	// All mutations applied: freeze the clone's encoding/hashes and fold
-	// its component back into the fingerprint.
-	cloned.finalize(node)
-	next.hsum += cloned.chash
+	s.dispatchSends(next, ctx, sc)
+	// All mutations applied: freeze the clone's encoding/hashes (sharing
+	// any segment the handler left unchanged with the parent) and swap it
+	// into the fingerprint.
+	cloned.finalize(node, ns, sc)
+	next.swapNode(node, ns, cloned)
 	return next
 }
 
-func (s *Search) applyMessage(g *GState, e sm.MsgEvent) *GState {
+func (s *Search) applyMessage(g *GState, e sm.MsgEvent, sc *scratch) *GState {
 	i := findMsg(g, e.From, e.To, e.Msg.MsgType(), false)
 	if i < 0 {
 		return nil
 	}
 	msg := g.msgs[i].Msg
-	next := s.runHandler(g, e.To, e, func(ctx *mcContext) {
+	next := s.runHandler(g, e.To, e, sc, func(ctx *mcContext) {
 		ctx.ns.Svc.HandleMessage(ctx, e.From, msg)
 	})
 	if next == nil {
@@ -156,12 +148,12 @@ func (s *Search) applyMessage(g *GState, e sm.MsgEvent) *GState {
 	return next
 }
 
-func (s *Search) applyTimer(g *GState, e sm.TimerEvent) *GState {
+func (s *Search) applyTimer(g *GState, e sm.TimerEvent, sc *scratch) *GState {
 	ns := g.nodes[e.At]
 	if ns == nil || !ns.Timers[e.Timer] {
 		return nil
 	}
-	return s.runHandler(g, e.At, e, func(ctx *mcContext) {
+	return s.runHandler(g, e.At, e, sc, func(ctx *mcContext) {
 		// One-shot semantics: the timer is consumed before the
 		// handler runs; periodic services re-arm inside the handler.
 		delete(ctx.ns.Timers, e.Timer)
@@ -169,18 +161,18 @@ func (s *Search) applyTimer(g *GState, e sm.TimerEvent) *GState {
 	})
 }
 
-func (s *Search) applyApp(g *GState, e sm.AppEvent) *GState {
-	return s.runHandler(g, e.At, e, func(ctx *mcContext) {
+func (s *Search) applyApp(g *GState, e sm.AppEvent, sc *scratch) *GState {
+	return s.runHandler(g, e.At, e, sc, func(ctx *mcContext) {
 		ctx.ns.Svc.HandleApp(ctx, e.Call)
 	})
 }
 
-func (s *Search) applyError(g *GState, e sm.ErrorEvent) *GState {
+func (s *Search) applyError(g *GState, e sm.ErrorEvent, sc *scratch) *GState {
 	i := findMsg(g, e.Peer, e.At, "", true)
 	if i < 0 && !s.cfg.ExploreConnBreaks {
 		return nil
 	}
-	next := s.runHandler(g, e.At, e, func(ctx *mcContext) {
+	next := s.runHandler(g, e.At, e, sc, func(ctx *mcContext) {
 		ctx.ns.Svc.HandleTransportError(ctx, e.Peer)
 	})
 	if next == nil {
@@ -212,13 +204,13 @@ func (s *Search) applyDrop(g *GState, e sm.DropEvent) *GState {
 //     transition models the RST being lost (Figure 9's lost RST);
 //   - the node restarts from its initial state (Init runs, possibly
 //     scheduling timers and sends).
-func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
+func (s *Search) applyReset(g *GState, e sm.ResetEvent, sc *scratch) *GState {
 	ns := g.nodes[e.At]
 	if ns == nil {
 		return nil
 	}
 	next := g.shallowClone()
-	next.bumpResets()
+	next.bumpResets(sc)
 	// Drop in-flight traffic touching the node.
 	kept := next.msgs[:0]
 	for _, m := range next.msgs {
@@ -226,6 +218,7 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 			kept = append(kept, m)
 		} else {
 			next.hsum -= m.chash
+			next.encSize -= m.sz
 		}
 	}
 	next.msgs = kept
@@ -233,14 +226,14 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 	// Iterate in sorted node order: the append order becomes the
 	// successor's in-flight order, which event enumeration (and so
 	// same-seed random walks) must see identically every run.
-	for _, id := range next.Nodes() {
+	for _, id := range next.ids {
 		if id == e.At {
 			continue
 		}
 		for _, nb := range next.nodes[id].Svc.Neighbors() {
 			if nb == e.At {
-				next.setStale(pair{id, e.At})
-				next.addMsg(InFlight{From: e.At, To: id, Msg: nil})
+				next.setStale(pair{id, e.At}, sc)
+				next.addMsg(InFlight{From: e.At, To: id, Msg: nil}, sc)
 				break
 			}
 		}
@@ -248,7 +241,7 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 	// The reset node has no stale knowledge of anyone.
 	for p := range next.stale {
 		if p.a == e.At {
-			next.clearStale(p)
+			next.clearStale(p, sc)
 		}
 	}
 	// Fresh service, re-initialised; disk contents survive the crash.
@@ -260,61 +253,87 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent) *GState {
 	if ss, ok := fresh.Svc.(sm.StableStore); ok && stable != nil {
 		ss.RestoreStable(stable)
 	}
-	next.nodes[e.At] = fresh
-	next.hsum -= ns.chash
-	ctx := &mcContext{self: e.At, ns: fresh, rng: edgeRNG(s.cfg.Seed, g, e)}
+	ctx := &sc.ctx
+	ctx.self, ctx.ns, ctx.sends, ctx.rng = e.At, fresh, ctx.sends[:0], edgeRNG(s.cfg.Seed, g, e, sc)
 	fresh.Svc.Init(ctx)
-	s.dispatchSends(next, ctx)
-	fresh.finalize(e.At)
-	next.hsum += fresh.chash
+	s.dispatchSends(next, ctx, sc)
+	fresh.finalize(e.At, ns, sc)
+	next.swapNode(e.At, ns, fresh)
 	return next
 }
 
-// EnabledEvents enumerates the transitions available from g, split into
-// message-handler events (the paper's H_M: deliveries, error notifications,
-// RST drops) and internal-action events per node (H_A: timers, application
-// calls, resets). Consequence prediction prunes only the latter. It only
-// reads g, so concurrent workers may enumerate a shared state freely.
-// Enumeration order is deterministic — in-flight slice order for H_M,
-// sorted timer ids then model app calls, reset and conn-break events for
-// H_A — so same-seed explorations pick the same transitions every run.
-func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
-	seenMsg := make(map[string]bool)
-	for _, m := range g.msgs {
+// msgKey identifies an in-flight (from, to, type) triple for delivery
+// deduplication; rst distinguishes RST notifications from service messages.
+type msgKey struct {
+	from, to sm.NodeID
+	typ      string
+	rst      bool
+}
+
+// eventBuf is the reusable enumeration workspace owned by one worker (or
+// one walk): the network/internal event slices and the message-dedup set
+// are recycled across states, so steady-state enumeration does not
+// allocate. The slices handed out by enabledInto alias the buffer and are
+// valid only until its next use.
+type eventBuf struct {
+	network  []sm.Event
+	internal [][]sm.Event
+	seen     map[msgKey]struct{}
+	all      []sm.Event // random-walk candidate buffer
+}
+
+// enabledInto enumerates the transitions available from g into buf,
+// returning the message-handler events (the paper's H_M: deliveries, error
+// notifications, RST drops), the sorted node ids, and the internal-action
+// events per node (H_A: timers, application calls, resets) aligned with the
+// ids. Consequence prediction prunes only the latter. It only reads g, so
+// concurrent workers may enumerate a shared state freely (each through its
+// own buffer). Enumeration order is deterministic — in-flight slice order
+// for H_M, sorted timer ids then model app calls, reset and conn-break
+// events for H_A — so same-seed explorations pick the same transitions
+// every run.
+func (s *Search) enabledInto(g *GState, buf *eventBuf) (network []sm.Event, ids []sm.NodeID, internal [][]sm.Event) {
+	if buf.seen == nil {
+		buf.seen = make(map[msgKey]struct{})
+	} else {
+		clear(buf.seen)
+	}
+	buf.network = buf.network[:0]
+	for i := range g.msgs {
+		m := &g.msgs[i]
 		if m.RST() {
-			key := "rst:" + m.From.String() + ">" + m.To.String()
-			if seenMsg[key] {
+			key := msgKey{from: m.From, to: m.To, rst: true}
+			if _, dup := buf.seen[key]; dup {
 				continue // identical RSTs collapse
 			}
-			seenMsg[key] = true
-			network = append(network, sm.ErrorEvent{At: m.To, Peer: m.From})
-			network = append(network, sm.DropEvent{From: m.From, To: m.To})
+			buf.seen[key] = struct{}{}
+			buf.network = append(buf.network,
+				sm.ErrorEvent{At: m.To, Peer: m.From},
+				sm.DropEvent{From: m.From, To: m.To})
 			continue
 		}
-		key := m.From.String() + ">" + m.To.String() + ":" + m.Msg.MsgType()
 		// Deliver only the first in-flight instance of identical
 		// (from,to,type) triples; FIFO-per-pair keeps the state count
 		// down and matches live TCP ordering.
-		if seenMsg[key] {
+		key := msgKey{from: m.From, to: m.To, typ: m.Msg.MsgType()}
+		if _, dup := buf.seen[key]; dup {
 			continue
 		}
-		seenMsg[key] = true
-		network = append(network, sm.MsgEvent{From: m.From, To: m.To, Msg: m.Msg})
+		buf.seen[key] = struct{}{}
+		buf.network = append(buf.network, sm.MsgEvent{From: m.From, To: m.To, Msg: m.Msg})
 	}
-	internal = make(map[sm.NodeID][]sm.Event)
-	for _, id := range g.Nodes() {
+	ids = g.ids
+	if cap(buf.internal) < len(ids) {
+		buf.internal = make([][]sm.Event, len(ids))
+	}
+	buf.internal = buf.internal[:len(ids)]
+	for i, id := range ids {
 		ns := g.nodes[id]
-		var evs []sm.Event
-		// Sorted timer ids: map iteration order must not leak into the
-		// transition order same-seed runs replay.
-		timers := make([]string, 0, len(ns.Timers))
-		for t, ok := range ns.Timers {
-			if ok {
-				timers = append(timers, string(t))
-			}
-		}
-		sort.Strings(timers)
-		for _, t := range timers {
+		evs := buf.internal[i][:0]
+		// timerNames is precomputed sorted by finalize: map iteration
+		// order cannot leak into the transition order same-seed runs
+		// replay.
+		for _, t := range ns.timerNames {
 			evs = append(evs, sm.TimerEvent{At: id, Timer: sm.TimerID(t)})
 		}
 		if ma, ok := ns.Svc.(sm.ModelActions); ok {
@@ -332,7 +351,23 @@ func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.N
 				}
 			}
 		}
-		internal[id] = evs
+		buf.internal[i] = evs
+	}
+	return buf.network, ids, buf.internal
+}
+
+// EnabledEvents enumerates the transitions available from g, split into
+// message-handler events and internal-action events per node. It is the
+// allocating convenience form of enabledInto for tests, tools and custom
+// strategies; the returned containers are freshly allocated and owned by
+// the caller.
+func (s *Search) EnabledEvents(g *GState) (network []sm.Event, internal map[sm.NodeID][]sm.Event) {
+	var buf eventBuf
+	net, ids, internalBuf := s.enabledInto(g, &buf)
+	network = append([]sm.Event(nil), net...)
+	internal = make(map[sm.NodeID][]sm.Event, len(ids))
+	for i, id := range ids {
+		internal[id] = append([]sm.Event(nil), internalBuf[i]...)
 	}
 	return network, internal
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crystalball/internal/props"
 	"crystalball/internal/sm"
 )
 
@@ -89,12 +90,15 @@ func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker reusable workspace, shared by all walks this
+			// goroutine runs.
+			res := &workerRes{view: props.NewView()}
 			for {
 				walk := int(nextWalk.Add(1)) - 1
 				if walk >= s.cfg.Walks || bdg.exhausted() {
 					return
 				}
-				runWalk(s, start, walk, bdg, coll, seen, &transitions, &maxDepth)
+				runWalk(s, start, walk, bdg, coll, seen, &transitions, &maxDepth, res)
 			}
 		}()
 	}
@@ -109,9 +113,10 @@ func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
 	}
 }
 
-// runWalk performs one random walk of up to cfg.WalkDepth steps.
+// runWalk performs one random walk of up to cfg.WalkDepth steps, using
+// res's reusable view and enumeration buffers.
 func runWalk(s *Search, start *GState, walk int, bdg *budget, coll *collector,
-	seen *shardedSet, transitions, maxDepth *atomic.Int64) {
+	seen *shardedSet, transitions, maxDepth *atomic.Int64, res *workerRes) {
 	// A fixed odd multiplier spreads walk indices across seed space
 	// (splitmix64's golden-ratio increment).
 	rng := sm.NewRand(s.cfg.Seed ^ int64(walk+1)*-0x61c8864680b583eb)
@@ -122,7 +127,8 @@ func runWalk(s *Search, start *GState, walk int, bdg *budget, coll *collector,
 			return
 		}
 		atomicMax(maxDepth, int64(depth))
-		if violated := s.cfg.Props.Check(node.state.View()); len(violated) > 0 {
+		node.state.FillView(res.view)
+		if violated := s.cfg.Props.Check(res.view); len(violated) > 0 {
 			var onset []string
 			for _, p := range violated {
 				if !walkViolated[p] {
@@ -145,11 +151,13 @@ func runWalk(s *Search, start *GState, walk int, bdg *budget, coll *collector,
 				}
 			}
 		}
-		network, internal := s.EnabledEvents(node.state)
-		all := append([]sm.Event{}, network...)
-		for _, id := range node.state.Nodes() {
-			all = append(all, internal[id]...)
+		network, _, internal := s.enabledInto(node.state, &res.evb)
+		all := res.evb.all[:0]
+		all = append(all, network...)
+		for i := range internal {
+			all = append(all, internal[i]...)
 		}
+		res.evb.all = all
 		if len(all) == 0 {
 			return
 		}

@@ -9,7 +9,7 @@
 package props
 
 import (
-	"sort"
+	"slices"
 
 	"crystalball/internal/sm"
 )
@@ -28,19 +28,61 @@ func (v NodeView) TimerPending(t sm.TimerID) bool { return v.Timers[t] }
 // View is a consistent (possibly partial) snapshot of the system: the
 // neighborhood snapshot fed to the model checker, or the full system in
 // experiment harnesses.
+//
+// Views are reusable: Reset empties a view while keeping its storage (the
+// node map, the id list, and the NodeView structs, which are recycled
+// through an internal free list), so a hot loop — the checker evaluating
+// properties on every explored state, the runtime's immediate safety check
+// — can refill one view per worker instead of allocating per state.
+//
+// Ownership rules: the NodeView structs belong to the view — insert nodes
+// with Add (never by writing the Nodes map directly), and do not retain a
+// *NodeView or the IDs slice across a Reset. A view may be refilled and
+// read by one goroutine at a time; concurrent workers each use their own.
 type View struct {
 	Nodes map[sm.NodeID]*NodeView
+
+	ids    []sm.NodeID // cached id list; sorted when sorted is true
+	sorted bool
+	free   []*NodeView // recycled NodeViews, owned by this view
 }
 
 // NewView returns an empty view.
-func NewView() *View { return &View{Nodes: make(map[sm.NodeID]*NodeView)} }
+func NewView() *View { return &View{Nodes: make(map[sm.NodeID]*NodeView), sorted: true} }
 
-// Add inserts a node's view.
+// Reset empties the view, retaining its storage for reuse.
+func (v *View) Reset() {
+	for id, nv := range v.Nodes {
+		nv.Svc, nv.Timers = nil, nil
+		v.free = append(v.free, nv)
+		delete(v.Nodes, id)
+	}
+	v.ids = v.ids[:0]
+	v.sorted = true
+}
+
+// Add inserts a node's view, replacing any existing entry for id.
 func (v *View) Add(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]bool) {
 	if timers == nil {
 		timers = map[sm.TimerID]bool{}
 	}
-	v.Nodes[id] = &NodeView{Svc: svc, Timers: timers}
+	if nv, ok := v.Nodes[id]; ok {
+		nv.Svc, nv.Timers = svc, timers
+		return
+	}
+	var nv *NodeView
+	if n := len(v.free); n > 0 {
+		nv = v.free[n-1]
+		v.free = v.free[:n-1]
+	} else {
+		nv = &NodeView{}
+	}
+	nv.Svc, nv.Timers = svc, timers
+	v.Nodes[id] = nv
+	if v.sorted && len(v.ids) > 0 && id < v.ids[len(v.ids)-1] {
+		v.sorted = false
+	}
+	v.ids = append(v.ids, id)
 }
 
 // Has reports whether the view contains node id.
@@ -50,14 +92,16 @@ func (v *View) Has(id sm.NodeID) bool { _, ok := v.Nodes[id]; return ok }
 func (v *View) Get(id sm.NodeID) *NodeView { return v.Nodes[id] }
 
 // IDs returns the node ids in the view in ascending order, for
-// deterministic property evaluation and reporting.
+// deterministic property evaluation and reporting. The list is cached —
+// sorted at most once between mutations, and already in order when the
+// view was filled ascending (GState.FillView) — and shared with the view:
+// callers must treat it as read-only and not retain it across Reset.
 func (v *View) IDs() []sm.NodeID {
-	ids := make([]sm.NodeID, 0, len(v.Nodes))
-	for id := range v.Nodes {
-		ids = append(ids, id)
+	if !v.sorted {
+		slices.Sort(v.ids)
+		v.sorted = true
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return v.ids
 }
 
 // Property is a user- or developer-specified safety property (paper Figure

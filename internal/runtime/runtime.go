@@ -90,6 +90,12 @@ type Node struct {
 	iscProps props.Set
 	iscView  func() *props.View
 	iscOn    bool
+	// iscPost/iscPre are the speculative-execution evaluation views,
+	// reused across every ISC check this node performs (the check runs on
+	// the single simulator goroutine). Only the NodeView containers are
+	// reused; the service/timer references are refilled per check.
+	iscPost *props.View
+	iscPre  *props.View
 
 	// OnEvent, if set, runs after every executed handler; experiment
 	// harnesses use it to evaluate ground-truth properties per action.
@@ -373,27 +379,33 @@ func (n *Node) iscBlocks(ev sm.Event) bool {
 	}
 	// Evaluate the properties on the last known neighborhood snapshot
 	// with this node's entry replaced by the speculative post-state, and
-	// compare against the same view with the current (pre) state.
-	neighborhood := func() *props.View {
-		view := props.NewView()
+	// compare against the same view with the current (pre) state. The two
+	// evaluation views are owned by the node and refilled per check (Add
+	// copies the service/timer references into view-owned NodeViews, so
+	// the snapshot view is never aliased and reuse cannot corrupt it).
+	if n.iscPost == nil {
+		n.iscPost, n.iscPre = props.NewView(), props.NewView()
+	}
+	neighborhood := func(view *props.View) *props.View {
+		view.Reset()
 		if n.iscView != nil {
 			if nv := n.iscView(); nv != nil {
 				for id, node := range nv.Nodes {
 					if id != n.ID {
-						view.Nodes[id] = node
+						view.Add(id, node.Svc, node.Timers)
 					}
 				}
 			}
 		}
 		return view
 	}
-	post := neighborhood()
+	post := neighborhood(n.iscPost)
 	post.Add(n.ID, spec.svc, spec.timers)
 	violatedPost := n.iscProps.Check(post)
 	if len(violatedPost) == 0 {
 		return false
 	}
-	pre := neighborhood()
+	pre := neighborhood(n.iscPre)
 	pre.Add(n.ID, n.svc, n.TimerSet())
 	violatedPre := make(map[string]bool)
 	for _, p := range n.iscProps.Check(pre) {

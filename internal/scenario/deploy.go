@@ -260,14 +260,23 @@ func ExpRand(u float64) float64 {
 	return x
 }
 
-// View builds the ground-truth global view of the deployment.
+// View builds the ground-truth global view of the deployment, allocating a
+// fresh view. Per-event harness loops use FillView with a reused view.
 func (d *Deployment) View() *props.View {
 	v := props.NewView()
+	d.FillView(v)
+	return v
+}
+
+// FillView resets v and loads every node's (service, timers) pair into it,
+// reusing v's storage; for harnesses that evaluate ground-truth properties
+// on every executed event.
+func (d *Deployment) FillView(v *props.View) {
+	v.Reset()
 	for _, node := range d.Nodes {
 		svc, timers := node.View()
 		v.Add(node.ID, svc, timers)
 	}
-	return v
 }
 
 // TotalFindings returns all controller findings.

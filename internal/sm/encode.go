@@ -4,17 +4,51 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
-	"sort"
+	"slices"
 )
+
+// FNV-64a streamed as plain integer state, so hot paths can hash without
+// instantiating a hash.Hash64 (fnv.New64a escapes to the heap on every
+// call). The constants and update rule match hash/fnv exactly.
+const (
+	// FNV64aInit is the FNV-64a offset basis: the initial hash state.
+	FNV64aInit uint64 = 14695981039346656037
+	fnvPrime64 uint64 = 1099511628211
+)
+
+// FNV64aByte folds one byte into an FNV-64a hash state.
+func FNV64aByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// FNV64aBytes folds a byte slice into an FNV-64a hash state.
+func FNV64aBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// FNV64aString folds a string into an FNV-64a hash state.
+func FNV64aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
 
 // Encoder writes values in a stable, deterministic binary form. It backs
 // three mechanisms that all need byte-identical encodings for equal states:
 // state hashing in the model checker, checkpoint contents in the snapshot
 // manager, and duplicate-checkpoint suppression.
+//
+// An Encoder is reusable through Reset and keeps its buffer (and the NodeSet
+// sorting scratch) across uses, so a pooled or worker-owned Encoder encodes
+// without allocating in steady state.
 type Encoder struct {
 	buf []byte
+	ids []NodeID // NodeSet sorting scratch, reused across calls
 }
 
 // NewEncoder returns an empty encoder.
@@ -31,11 +65,10 @@ func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Hash returns the FNV-64a hash of the encoded bytes. The model checker
 // stores only these hashes (the paper notes the checker caches hashes, not
-// states, to bound memory).
+// states, to bound memory). Computed with the streamed FNV helpers, so no
+// hash object is allocated.
 func (e *Encoder) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write(e.buf)
-	return h.Sum64()
+	return FNV64aBytes(FNV64aInit, e.buf)
 }
 
 // DomainHash returns the FNV-64a hash of the domain byte followed by the
@@ -44,12 +77,7 @@ func (e *Encoder) Hash() uint64 {
 // distinct domain tag so equal byte strings in different roles cannot
 // cancel or collide across component types.
 func (e *Encoder) DomainHash(domain byte) uint64 {
-	h := fnv.New64a()
-	var d [1]byte
-	d[0] = domain
-	h.Write(d[:])
-	h.Write(e.buf)
-	return h.Sum64()
+	return FNV64aBytes(FNV64aByte(FNV64aInit, domain), e.buf)
 }
 
 // Uint64 appends v big-endian.
@@ -96,15 +124,18 @@ func (e *Encoder) Bytes2(b []byte) {
 }
 
 // NodeSet appends a set of node ids in sorted order, so that two equal sets
-// encode identically regardless of map iteration order.
+// encode identically regardless of map iteration order. The sorting scratch
+// is owned by the encoder and reused, so repeated NodeSet calls on a
+// reusable encoder do not allocate.
 func (e *Encoder) NodeSet(set map[NodeID]bool) {
-	ids := make([]NodeID, 0, len(set))
+	ids := e.ids[:0]
 	for n, ok := range set {
 		if ok {
 			ids = append(ids, n)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	e.ids = ids
 	e.Uint32(uint32(len(ids)))
 	for _, n := range ids {
 		e.NodeID(n)
@@ -292,6 +323,6 @@ func SortedNodes(set map[NodeID]bool) []NodeID {
 			ids = append(ids, n)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

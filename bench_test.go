@@ -338,6 +338,30 @@ func steeringArm(seed int64, checkFilterSafety, replay bool) struct {
 	return out
 }
 
+// BenchmarkAdaptiveRounds measures the budget-policy round-trip the
+// controller pays per model-checking round: one Plan from the round info
+// plus one Observe of the report. The policy contract requires both to be
+// allocation-free (internal/mc's TestPolicyPlanObserveAllocFree pins 0
+// allocs); this benchmark records the time floor so policy logic never
+// creeps into round-scheduling cost.
+func BenchmarkAdaptiveRounds(b *testing.B) {
+	b.ReportAllocs()
+	pol := &mc.AdaptivePolicy{
+		Base:       mc.Budget{States: 20000, Workers: 2, Violations: 8},
+		MaxWorkers: 8,
+	}
+	info := mc.RoundInfo{SnapshotBytes: 4096, SnapshotNodes: 12, Interval: 10 * time.Second}
+	for i := 0; i < b.N; i++ {
+		info.Round = i + 1
+		plan := pol.Plan(info)
+		pol.Observe(mc.RoundReport{
+			Budget:  plan,
+			States:  plan.States,
+			Elapsed: time.Duration(plan.States) * 300 * time.Microsecond,
+		})
+	}
+}
+
 // BenchmarkStateHash measures global-state hashing, the checker's hottest
 // primitive. The fingerprint is a commutative sum of per-component hashes
 // maintained incrementally through every successor constructor, so:

@@ -6,9 +6,14 @@
 //	experiments -exp all                 # everything, default scales
 //	experiments -exp fig14 -runs 100     # Figure 14 at paper scale
 //	experiments -exp table1 -duration 30m
+//	experiments -exp sweep               # scenario x workers x policy matrix
 //
 // Experiments: table1, fig12, fig15, fig16, depths, randtree-steering,
-// fig14, fig17, overhead, all.
+// fig14, fig17, overhead, sweep, all.
+//
+// -policy selects the controllers' per-round budget policy
+// (fixed|scaled|adaptive) for the deployment-based experiments; sweep
+// iterates all three.
 package main
 
 import (
@@ -22,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1|fig12|fig15|fig16|depths|randtree-steering|fig14|fig17|overhead|all)")
+		exp      = flag.String("exp", "all", "experiment id (table1|fig12|fig15|fig16|depths|randtree-steering|fig14|fig17|overhead|sweep|all)")
 		seed     = flag.Int64("seed", 42, "root random seed")
 		runs     = flag.Int("runs", 30, "runs per bug for fig14 (paper: 100)")
 		nodes    = flag.Int("nodes", 0, "node count override (0 = experiment default)")
@@ -30,13 +35,16 @@ func main() {
 		depth    = flag.Int("depth", 0, "max depth for fig12/fig15")
 		budget   = flag.Duration("budget", 2*time.Second, "wall budget for the depths comparison")
 		workers  = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS)")
+		policy   = flag.String("policy", "", "checker budget policy (fixed|scaled|adaptive; empty = scenario default)")
+		states   = flag.Int("states", 0, "sweep: base per-round state budget (0 = 4000)")
+		rounds   = flag.Int("rounds", 0, "sweep: planning rounds per cell (0 = 3)")
 	)
 	flag.Parse()
 
 	run := func(name string) {
 		switch name {
 		case "table1":
-			cfg := experiments.Table1Config{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers}
+			cfg := experiments.Table1Config{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers, Policy: *policy}
 			fmt.Print(experiments.FormatTable1(experiments.Table1(cfg)))
 		case "fig12":
 			cfg := experiments.Fig12Config{Seed: *seed, MaxDepth: *depth, MaxStates: 2_000_000, MaxWall: 30 * time.Second, Workers: *workers}
@@ -54,7 +62,7 @@ func main() {
 			rows := experiments.DepthComparison(*seed, *budget, counts, *workers)
 			fmt.Print(experiments.FormatDepthComparison(rows, *budget))
 		case "randtree-steering":
-			cfg := experiments.SteeringConfig{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers}
+			cfg := experiments.SteeringConfig{Seed: *seed, Nodes: *nodes, Duration: *duration, Workers: *workers, Policy: *policy}
 			results := []experiments.SteeringResult{
 				experiments.RandTreeSteering(cfg, experiments.NoProtection),
 				experiments.RandTreeSteering(cfg, experiments.ISCOnly),
@@ -62,11 +70,20 @@ func main() {
 			}
 			fmt.Print(experiments.FormatSteering(results))
 		case "fig14":
-			cfg := experiments.Fig14Config{Seed: *seed, Runs: *runs, Workers: *workers}
+			cfg := experiments.Fig14Config{Seed: *seed, Runs: *runs, Workers: *workers, Policy: *policy}
 			fmt.Print(experiments.FormatFig14(experiments.Fig14Paxos(cfg)))
 		case "fig17":
-			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration, Workers: *workers}
+			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration, Workers: *workers, Policy: *policy}
 			fmt.Print(experiments.FormatFig17(experiments.Fig17Bullet(cfg)))
+		case "sweep":
+			cfg := experiments.SweepConfig{Seed: *seed, States: *states, Rounds: *rounds}
+			if *workers > 0 {
+				cfg.Workers = []int{*workers}
+			}
+			if *policy != "" {
+				cfg.Policies = []string{*policy}
+			}
+			fmt.Print(experiments.FormatSweep(experiments.Sweep(cfg)))
 		case "overhead":
 			cfg := experiments.OverheadConfig{Seed: *seed, Nodes: *nodes, Duration: *duration}
 			fmt.Print(experiments.FormatOverhead(experiments.Overhead(cfg)))

@@ -10,6 +10,12 @@
 //	mcheck -service chord -mode consequence -resets -states 200000
 //	mcheck -service paxos -variant bug1 -mode random-walk -walks 500
 //	mcheck -service bulletprime -nodes 3 -mode exhaustive -states 50000
+//	mcheck -service chord -policy scaled -states 20000
+//
+// -policy selects the budget policy that plans the search budget from the
+// flag-provided base (fixed = the flags verbatim; scaled = states scaled by
+// the initial state's encoded size; adaptive = fixed on the first round —
+// adaptation needs round feedback, which only live controllers have).
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		walkDepth  = flag.Int("walkdepth", 60, "random walk depth")
 		maxViol    = flag.Int("violations", 3, "stop after this many violations")
 		workers    = flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
+		policy     = flag.String("policy", "fixed", "budget policy planning the search budget (fixed|scaled|adaptive)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants")
 	)
@@ -82,12 +89,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// The flags form the base budget; the selected policy plans the
+	// actual search budget from the initial state's footprint. The
+	// default FixedPolicy returns the base verbatim, so default output
+	// is byte-identical to the pre-policy checker.
+	spec := mc.PolicySpec{
+		Kind: *policy,
+		Base: mc.Budget{
+			States:     *maxStates,
+			Depth:      *maxDepth,
+			Wall:       *maxWall,
+			Violations: *maxViol,
+			Workers:    *workers,
+		},
+	}
+	pol, err := spec.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg.Mode = m
-	cfg.Workers = *workers
-	cfg.MaxDepth = *maxDepth
-	cfg.MaxStates = *maxStates
-	cfg.MaxWall = *maxWall
-	cfg.MaxViolations = *maxViol
+	cfg.Budget = pol.Plan(mc.RoundInfo{
+		Round:         1,
+		SnapshotBytes: g.EncodedSize(),
+		SnapshotNodes: len(g.Nodes()),
+		Interval:      *maxWall,
+	})
 	cfg.ExploreResets = *resets
 	cfg.ExploreConnBreaks = *connBreaks
 	cfg.Walks = *walks
@@ -96,6 +123,10 @@ func main() {
 	res := mc.NewSearch(cfg).Run(g)
 
 	fmt.Printf("mode=%s service=%s nodes=%d workers=%d\n", m, sc.Name, *nodes, res.Workers)
+	if *policy != "fixed" {
+		fmt.Printf("policy=%s planned states=%d workers=%d (snapshot %dB)\n",
+			*policy, cfg.Budget.States, res.Workers, g.EncodedSize())
+	}
 	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v mem=%dB (%.0f B/state) states/sec=%.0f\n",
 		res.StatesExplored, res.Transitions, res.MaxDepthReached, res.Elapsed.Round(time.Millisecond),
 		res.PeakMemoryBytes, res.PerStateBytes,

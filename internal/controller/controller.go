@@ -69,13 +69,28 @@ type Config struct {
 	// SnapshotInterval is the gap between model-checking rounds
 	// (paper: checkpointing interval 10 s).
 	SnapshotInterval time.Duration
+	// Policy declares the per-round exploration budget policy: the
+	// controller builds one fresh Policy instance from this spec,
+	// consults Plan before every consequence-prediction round (snapshot
+	// size, round number, snapshot interval) and feeds Observe the
+	// round's report afterwards. Zero Base fields are filled from the
+	// deprecated MCStates/MCDepth/Workers scalars, and a zero spec
+	// reproduces exactly the old fixed per-round budget.
+	Policy mc.PolicySpec
 	// MCStates bounds consequence prediction per round.
+	//
+	// Deprecated: set Policy.Base.States; this scalar fills the policy
+	// base only where it is zero.
 	MCStates int
 	// MCDepth bounds search depth (0 = unbounded).
+	//
+	// Deprecated: set Policy.Base.Depth.
 	MCDepth int
 	// Workers is the checker's worker-pool size per round (0 =
 	// GOMAXPROCS); the filter-safety recheck runs on the same engine
 	// with the same pool size.
+	//
+	// Deprecated: set Policy.Base.Workers.
 	Workers int
 	// PerStateCost is the virtual model-checking time charged per
 	// explored state; the report arrives only after the total latency.
@@ -122,6 +137,30 @@ func DefaultConfig(ps props.Set, factory sm.Factory) Config {
 	}
 }
 
+// defaultMaxViolations is the per-round violation quota every policy base
+// inherits unless it sets its own.
+const defaultMaxViolations = 8
+
+// policySpec resolves the controller's budget-policy spec: the declared
+// spec with zero Base fields filled from the deprecated scalars and the
+// controller defaults.
+func (c *Config) policySpec() mc.PolicySpec {
+	spec := c.Policy
+	if spec.Base.States == 0 {
+		spec.Base.States = c.MCStates
+	}
+	if spec.Base.Depth == 0 {
+		spec.Base.Depth = c.MCDepth
+	}
+	if spec.Base.Workers == 0 {
+		spec.Base.Workers = c.Workers
+	}
+	if spec.Base.Violations == 0 {
+		spec.Base.Violations = defaultMaxViolations
+	}
+	return spec
+}
+
 // Finding is one recorded violation prediction.
 type Finding struct {
 	Properties []string
@@ -164,6 +203,9 @@ type Stats struct {
 	ReplayReinstalls    int64
 	StatesExplored      int64
 	MCVirtualTime       time.Duration
+	// LastBudget is the budget the policy planned for the most recent
+	// (non-skipped) round.
+	LastBudget mc.Budget
 	// PredictionsDelivered counts predictions handed to steering-aware
 	// services (sm.SteeringAware) instead of generic filters.
 	PredictionsDelivered int64
@@ -175,6 +217,9 @@ type Controller struct {
 	node *runtime.Node
 	mgr  *snapshot.Manager
 	cfg  Config
+	// policy plans each round's exploration budget and absorbs the
+	// round reports; one private, stateful instance per controller.
+	policy mc.Policy
 
 	lastView *props.View
 	findings []Finding
@@ -193,11 +238,19 @@ type Controller struct {
 // (snapCfg) and, if cfg.EnableISC, the immediate safety check wired to the
 // controller's latest neighborhood snapshot.
 func New(s *sim.Simulator, node *runtime.Node, cfg Config, snapCfg snapshot.Config) *Controller {
+	policy, err := cfg.policySpec().New()
+	if err != nil {
+		// An unresolvable policy kind is a configuration programming
+		// error (Deploy validates user-facing paths before reaching
+		// here), like registering a scenario without a factory.
+		panic(fmt.Sprintf("controller: %v", err))
+	}
 	c := &Controller{
-		sim:  s,
-		node: node,
-		mgr:  snapshot.NewManager(s, node, snapCfg),
-		cfg:  cfg,
+		sim:    s,
+		node:   node,
+		mgr:    snapshot.NewManager(s, node, snapCfg),
+		cfg:    cfg,
+		policy: policy,
 	}
 	if cfg.EnableISC {
 		node.EnableISC(cfg.Props, func() *props.View { return c.lastView })
@@ -258,28 +311,39 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	}
 	c.lastView = view
 
-	searchCfg := mc.Config{
-		Props:             c.cfg.Props,
-		Factory:           c.cfg.Factory,
-		Mode:              mc.Consequence,
-		Workers:           c.cfg.Workers,
-		MaxStates:         c.cfg.MCStates,
-		MaxDepth:          c.cfg.MCDepth,
-		ExploreResets:     c.cfg.ExploreResets,
-		ExploreConnBreaks: c.cfg.ExploreConnBreaks,
-		MaxResetsPerPath:  c.cfg.MaxResetsPerPath,
-		MaxViolations:     8,
-		Seed:              c.cfg.Seed,
-	}
-
 	// A snapshot identical to the last fully-searched one cannot yield
 	// new predictions, so the full model-checking run is skipped — and
 	// since filters are removed "after every model checking run", a
-	// skipped run leaves the installed filters in place.
+	// skipped run leaves the installed filters in place. The policy
+	// neither plans nor observes a skipped round: nothing is explored,
+	// so Plan calls correspond 1:1 with rounds that actually search.
 	if h := start.Hash(); h == c.lastHash {
 		c.busy = false
 		c.scheduleRound(c.cfg.SnapshotInterval)
 		return
+	}
+
+	// The policy plans this round's exploration budget from what is
+	// known before the search: the round number, the snapshot's encoded
+	// size and the interval the round must fit inside. This replaces the
+	// old verbatim MCStates/Workers copy with the paper's adaptive
+	// StopCriterion seam.
+	plan := c.policy.Plan(mc.RoundInfo{
+		Round:         int(c.Stats.Rounds),
+		SnapshotBytes: start.EncodedSize(),
+		SnapshotNodes: len(start.Nodes()),
+		Interval:      c.cfg.SnapshotInterval,
+	})
+	c.Stats.LastBudget = plan
+	searchCfg := mc.Config{
+		Props:             c.cfg.Props,
+		Factory:           c.cfg.Factory,
+		Mode:              mc.Consequence,
+		Budget:            plan,
+		ExploreResets:     c.cfg.ExploreResets,
+		ExploreConnBreaks: c.cfg.ExploreConnBreaks,
+		MaxResetsPerPath:  c.cfg.MaxResetsPerPath,
+		Seed:              c.cfg.Seed,
 	}
 
 	// Step 1 (paper, "Rechecking Previously Discovered Violations"): the
@@ -320,6 +384,23 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	c.Stats.StatesExplored += int64(res.StatesExplored)
 	mcLatency := replayLatency + time.Duration(res.StatesExplored)*c.cfg.PerStateCost
 	c.Stats.MCVirtualTime += mcLatency
+	// Feed the policy the round report. Elapsed is the virtual checker
+	// latency of the run itself (the clock the checker/system race is
+	// measured in), not host wall time, so adaptive planning is
+	// deterministic under simulation. Workers carries the pool size the
+	// engine actually resolved (a planned 0 means GOMAXPROCS) so
+	// per-worker throughput estimates divide by the real count — and
+	// since this virtual clock is worker-independent, the estimate then
+	// makes adaptive worker growth a planned-capacity no-op here, while
+	// a wall-clock deployment would see the real speedup.
+	ranWith := plan
+	ranWith.Workers = res.Workers
+	c.policy.Observe(mc.RoundReport{
+		Budget:     ranWith,
+		States:     res.StatesExplored,
+		Violations: len(res.Violations),
+		Elapsed:    time.Duration(res.StatesExplored) * c.cfg.PerStateCost,
+	})
 	c.sim.After(mcLatency, func() {
 		c.processReport(start, searchCfg, res)
 		c.busy = false
@@ -415,9 +496,10 @@ func (c *Controller) correctiveFilter(path []sm.Event) (sm.Filter, bool) {
 func (c *Controller) filterIsSafe(start *mc.GState, searchCfg mc.Config, f sm.Filter) bool {
 	cfg := searchCfg
 	cfg.Filters = []sm.Filter{f}
-	cfg.MaxViolations = 1
-	// The safety check is a second, cheaper pass.
-	cfg.MaxStates = searchCfg.MaxStates / 2
+	cfg.Budget.Violations = 1
+	// The safety check is a second, cheaper pass on half the round's
+	// planned state budget.
+	cfg.Budget.States = searchCfg.Budget.States / 2
 	res := mc.NewSearch(cfg).Run(start)
 	c.Stats.StatesExplored += int64(res.StatesExplored)
 	return len(res.Violations) == 0

@@ -20,6 +20,9 @@ type Fig14Config struct {
 	MCStates int
 	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// Policy selects the per-round budget policy kind ("" = scenario
+	// default, then fixed).
+	Policy string
 	// PerStateCost is the virtual checker latency per state; it creates
 	// the race between prediction and the live bug (paper: the checker
 	// needed ~6 s, so short gaps beat it and fall through to the ISC).
@@ -106,6 +109,7 @@ func runPaxosScenario(seed int64, bug string, gap time.Duration, cfg Fig14Config
 		Seed:             seed,
 		Service:          scenario.Options{Variant: bug},
 		Control:          scenario.Steering,
+		Policy:           cfg.Policy,
 		MCStates:         cfg.MCStates,
 		Workers:          cfg.Workers,
 		PerStateCost:     cfg.PerStateCost,

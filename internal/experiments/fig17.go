@@ -24,6 +24,9 @@ type Fig17Config struct {
 	MCStates int
 	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// Policy selects the per-round budget policy kind ("" = scenario
+	// default, then fixed).
+	Policy string
 }
 
 // Fig17Result carries both arms' download-time CDFs plus the checkpoint
@@ -94,6 +97,7 @@ func runBulletArm(cfg Fig17Config, withCB bool) (*stats.Sample, int, float64) {
 		// The overhead arms measure the monitored download, not the
 		// debugging property set's transient phantom-block reports.
 		Props:            bulletprime.Properties,
+		Policy:           cfg.Policy,
 		MCStates:         cfg.MCStates,
 		Workers:          cfg.Workers,
 		SnapshotInterval: 10 * time.Second,

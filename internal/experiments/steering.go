@@ -21,6 +21,9 @@ type SteeringConfig struct {
 	MCStates int
 	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// Policy selects the per-round budget policy kind ("" = scenario
+	// default, then fixed).
+	Policy string
 }
 
 // SteeringMode selects which protections are active.
@@ -84,6 +87,7 @@ func RandTreeSteering(cfg SteeringConfig, mode SteeringMode) SteeringResult {
 	opts := scenario.DeployOptions{
 		Seed:             cfg.Seed,
 		Service:          scenario.Options{Nodes: cfg.Nodes},
+		Policy:           cfg.Policy,
 		Workers:          cfg.Workers,
 		SnapshotInterval: 10 * time.Second,
 	}

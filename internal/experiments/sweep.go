@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/scenario"
+	"crystalball/internal/stats"
+)
+
+// SweepConfig parameterises the scenario x workers x policy coverage
+// matrix (the MET-style sweep the scenario registry was built for).
+type SweepConfig struct {
+	Seed int64
+	// Workers lists the worker-pool sizes to sweep (nil = 1, 2, 4).
+	Workers []int
+	// Policies lists the budget-policy kinds to sweep (nil = all
+	// built-ins).
+	Policies []string
+	// States is the base per-round state budget every policy plans from
+	// (0 = 4000).
+	States int
+	// Rounds is how many planning rounds each cell runs; policies with
+	// feedback (adaptive) show their round-2+ behavior (0 = 3).
+	Rounds int
+	// Interval is the nominal snapshot interval fed to Plan (0 = 10 s).
+	Interval time.Duration
+}
+
+// SweepRow is one cell of the matrix: a scenario checked offline under one
+// (policy, workers) combination for cfg.Rounds planning rounds.
+type SweepRow struct {
+	Scenario string
+	Policy   string
+	Workers  int
+	// PlannedStates is the last round's planned state budget.
+	PlannedStates int
+	// States and Transitions aggregate over all rounds.
+	States      int
+	Transitions int
+	// StatesPerSec is the last round's wall-clock throughput.
+	StatesPerSec float64
+	// Distinct counts distinct violation signatures seen across rounds.
+	Distinct int
+}
+
+// Sweep runs the matrix: every registered scenario x every worker count x
+// every policy kind. Each cell explores the scenario's initial state with
+// consequence prediction for cfg.Rounds rounds, letting the policy re-plan
+// between rounds from the previous round's wall-clock report — the same
+// Plan/Observe loop live controllers run, driven offline.
+func Sweep(cfg SweepConfig) []SweepRow {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4}
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = mc.PolicyKinds()
+	}
+	if cfg.States == 0 {
+		cfg.States = 4000
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	var rows []SweepRow
+	for _, name := range scenario.Names() {
+		for _, policy := range cfg.Policies {
+			for _, workers := range cfg.Workers {
+				rows = append(rows, sweepCell(cfg, name, policy, workers))
+			}
+		}
+	}
+	return rows
+}
+
+func sweepCell(cfg SweepConfig, name, policy string, workers int) SweepRow {
+	row := SweepRow{Scenario: name, Policy: policy, Workers: workers}
+	pol := mc.PolicySpec{
+		Kind: policy,
+		Base: mc.Budget{States: cfg.States, Violations: 8, Workers: workers},
+	}.MustNew()
+	distinct := map[string]bool{}
+	for round := 1; round <= cfg.Rounds; round++ {
+		g, searchCfg, err := scenario.InitialState(name, scenario.Options{})
+		if err != nil {
+			panic(err)
+		}
+		plan := pol.Plan(mc.RoundInfo{
+			Round:         round,
+			SnapshotBytes: g.EncodedSize(),
+			SnapshotNodes: len(g.Nodes()),
+			Interval:      cfg.Interval,
+		})
+		searchCfg.Mode = mc.Consequence
+		searchCfg.Budget = plan
+		searchCfg.Seed = cfg.Seed + int64(round)
+		res := mc.NewSearch(searchCfg).Run(g)
+		pol.Observe(mc.RoundReport{
+			Budget:     plan,
+			States:     res.StatesExplored,
+			Violations: len(res.Violations),
+			Elapsed:    res.Elapsed,
+		})
+		for _, v := range res.Violations {
+			distinct[v.Signature()] = true
+		}
+		row.PlannedStates = plan.States
+		row.States += res.StatesExplored
+		row.Transitions += res.Transitions
+		if res.Elapsed > 0 {
+			row.StatesPerSec = float64(res.StatesExplored) / res.Elapsed.Seconds()
+		}
+	}
+	row.Distinct = len(distinct)
+	return row
+}
+
+// FormatSweep renders the matrix as a states/sec + findings coverage
+// table.
+func FormatSweep(rows []SweepRow) string {
+	t := stats.Table{
+		Title: "Scenario x workers x policy sweep (consequence prediction, per-cell rounds with feedback)",
+		Header: []string{"scenario", "policy", "workers", "planned-states",
+			"states", "transitions", "states/sec", "distinct-bugs"},
+	}
+	for _, r := range rows {
+		t.Add(r.Scenario, r.Policy, r.Workers, r.PlannedStates,
+			r.States, r.Transitions, fmt.Sprintf("%.0f", r.StatesPerSec), r.Distinct)
+	}
+	return t.String()
+}

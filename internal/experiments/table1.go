@@ -22,6 +22,9 @@ type Table1Config struct {
 	MCStates int
 	// Workers is the checker's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// Policy selects the per-round budget policy kind ("" = scenario
+	// default, then fixed).
+	Policy string
 }
 
 // Table1Result reports distinct bug classes found per system.
@@ -71,6 +74,7 @@ func table1Run(name, system string, cfg Table1Config, seed int64, opts scenario.
 		Seed:             seed,
 		Service:          opts,
 		Control:          scenario.Debug,
+		Policy:           cfg.Policy,
 		MCStates:         mcStates,
 		Workers:          cfg.Workers,
 		SnapshotInterval: 15 * time.Second,

@@ -196,7 +196,7 @@ func newEngine(s *Search, workers int, prune bool) *engine {
 		bdg:     newBudget(s.cfg.Stop(), time.Now()),
 		visited: newShardedSet(),
 		local:   newShardedSet(),
-		coll:    newCollector(s.cfg.MaxViolations),
+		coll:    newCollector(s.cfg.Budget.Violations),
 		res:     make([]workerRes, workers),
 	}
 	for w := range e.res {

@@ -41,20 +41,37 @@ type Config struct {
 	// Strategy, when non-nil, overrides Mode with a custom exploration
 	// algorithm.
 	Strategy Strategy
+	// Budget is the search's resource envelope: states, depth, wall
+	// clock, violations and workers in one value — what a Policy plans
+	// per round and what the engine and every strategy consume. Zero
+	// fields are filled from the deprecated loose scalars below, so
+	// legacy configurations keep working unchanged.
+	Budget Budget
 	// Workers is the number of exploration goroutines sharing the work
 	// queue (0 = GOMAXPROCS). With Workers == 1 the breadth-first
 	// strategies reproduce the serial search of the paper exactly.
+	//
+	// Deprecated: set Budget.Workers; this scalar fills the Budget only
+	// where it is zero.
 	Workers int
 	// MaxStates bounds explored states (0 = unbounded).
+	//
+	// Deprecated: set Budget.States.
 	MaxStates int
 	// MaxDepth bounds search depth (0 = unbounded).
+	//
+	// Deprecated: set Budget.Depth.
 	MaxDepth int
 	// MaxWall bounds wall-clock time (0 = unbounded); part of the
 	// paper's StopCriterion for runtime deployment.
+	//
+	// Deprecated: set Budget.Wall.
 	MaxWall time.Duration
 	// MaxViolations stops the search after this many distinct violating
 	// states (0 = collect all within other bounds); the reported
 	// Violations list is additionally deduplicated by Signature.
+	//
+	// Deprecated: set Budget.Violations.
 	MaxViolations int
 	// ExploreResets enables node-reset fault transitions.
 	ExploreResets bool
@@ -79,6 +96,28 @@ type Config struct {
 	Seed int64
 }
 
+// mergeLegacy resolves the effective budget: explicit Budget fields win,
+// zero fields fall back to the deprecated loose scalars.
+func (c *Config) mergeLegacy() Budget {
+	b := c.Budget
+	if b.States == 0 {
+		b.States = c.MaxStates
+	}
+	if b.Depth == 0 {
+		b.Depth = c.MaxDepth
+	}
+	if b.Wall == 0 {
+		b.Wall = c.MaxWall
+	}
+	if b.Violations == 0 {
+		b.Violations = c.MaxViolations
+	}
+	if b.Workers == 0 {
+		b.Workers = c.Workers
+	}
+	return b
+}
+
 func (c *Config) defaults() {
 	if c.MaxResetsPerPath == 0 {
 		c.MaxResetsPerPath = 1
@@ -89,9 +128,15 @@ func (c *Config) defaults() {
 	if c.Walks == 0 {
 		c.Walks = 200
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	b := c.mergeLegacy()
+	if b.Workers <= 0 {
+		b.Workers = runtime.GOMAXPROCS(0)
 	}
+	c.Budget = b
+	// Mirror the resolved budget back into the deprecated scalars so
+	// code that still reads them observes the same bounds.
+	c.MaxStates, c.MaxDepth, c.MaxWall = b.States, b.Depth, b.Wall
+	c.MaxViolations, c.Workers = b.Violations, b.Workers
 }
 
 // strategy resolves the configured exploration algorithm.
@@ -276,9 +321,9 @@ func (s *Search) ApplyEvent(g *GState, ev sm.Event) *GState {
 // state is not mutated.
 func (s *Search) Run(start *GState) *Result {
 	s.dummyRedirects.Store(0)
-	res := s.cfg.strategy().Explore(s, start, s.cfg.Workers)
+	res := s.cfg.strategy().Explore(s, start, s.cfg.Budget.Workers)
 	res.DummyRedirects = int(s.dummyRedirects.Load())
-	res.Workers = s.cfg.Workers
+	res.Workers = s.cfg.Budget.Workers
 	return res
 }
 

@@ -21,14 +21,10 @@ type StopCriterion struct {
 	MaxViolations int
 }
 
-// Stop returns the search's stop criterion.
+// Stop returns the search's stop criterion, resolved from the budget (with
+// the deprecated loose scalars filling zero Budget fields).
 func (c *Config) Stop() StopCriterion {
-	return StopCriterion{
-		MaxStates:     c.MaxStates,
-		MaxDepth:      c.MaxDepth,
-		MaxWall:       c.MaxWall,
-		MaxViolations: c.MaxViolations,
-	}
+	return c.mergeLegacy().Stop()
 }
 
 // budget is the shared, atomically-updated accounting for one search run.

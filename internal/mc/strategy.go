@@ -77,7 +77,7 @@ func (walkStrategy) Name() string { return "random-walk" }
 func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
 	began := time.Now()
 	bdg := newBudget(s.cfg.Stop(), began)
-	coll := newCollector(s.cfg.MaxViolations)
+	coll := newCollector(s.cfg.Budget.Violations)
 	// seen dedups reports by (violating state, signature): the same state
 	// reached by different walks can carry different onsets and final
 	// events, and keying on the pair keeps the recorded set independent

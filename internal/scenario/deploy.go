@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crystalball/internal/controller"
+	"crystalball/internal/mc"
 	"crystalball/internal/props"
 	"crystalball/internal/runtime"
 	"crystalball/internal/sim"
@@ -82,10 +83,19 @@ type DeployOptions struct {
 	// SnapshotInterval overrides both the checkpoint interval and the
 	// controller's model-checking round interval.
 	SnapshotInterval time.Duration
-	// MCStates bounds each consequence-prediction round (0 = scenario
-	// suggestion, then controller default).
+	// Policy selects the per-round checker budget policy kind ("fixed",
+	// "scaled", "adaptive"; "" = scenario's CheckerPolicy kind, then
+	// fixed). See Scenario.resolvePolicySpec for the full precedence.
+	Policy string
+	// PolicySpec, when non-nil, replaces the scenario's CheckerPolicy
+	// wholesale before the per-field options (Policy, MCStates, Workers)
+	// apply on top.
+	PolicySpec *mc.PolicySpec
+	// MCStates bounds each consequence-prediction round (0 = policy /
+	// scenario suggestion, then controller default).
 	MCStates int
-	// Workers is the checker worker-pool size (0 = GOMAXPROCS).
+	// Workers is the checker worker-pool size (0 = policy suggestion,
+	// then GOMAXPROCS).
 	Workers int
 	// PerStateCost overrides the virtual checker latency per state.
 	PerStateCost time.Duration
@@ -157,6 +167,12 @@ func (sc *Scenario) Deploy(o DeployOptions) (*Deployment, error) {
 		cfg := *o.Controller
 		if cfg.Props == nil {
 			cfg.Props = sc.PropsFor(o.Control == Debug)
+		}
+		// The verbatim config bypasses resolvePolicySpec, so validate
+		// its policy kind here: a typo should be a Deploy error, not a
+		// controller.New panic mid-deployment.
+		if _, err := cfg.Policy.New(); err != nil {
+			return nil, fmt.Errorf("scenario %s: controller config: %w", sc.Name, err)
 		}
 		ctrlCfg = &cfg
 	case o.Control != Bare:

@@ -123,8 +123,18 @@ type Scenario struct {
 	// Faults is the default fault model for the checker.
 	Faults Faults
 
+	// CheckerPolicy declares the per-round exploration budget policy for
+	// live controllers: the kind ("fixed", "scaled", "adaptive") plus
+	// the base budget and tuning. The zero value means a FixedPolicy
+	// over the MCStates shim below (or the controller default). See
+	// resolvePolicySpec for how DeployOptions override it.
+	CheckerPolicy mc.PolicySpec
+
 	// MCStates is the suggested per-round consequence-prediction state
 	// budget for live controllers (0 = controller default).
+	//
+	// Deprecated: declare CheckerPolicy instead; MCStates seeds
+	// CheckerPolicy.Base.States only where that is zero.
 	MCStates int
 
 	// Join returns a fresh application call that makes a node enter the
@@ -253,13 +263,17 @@ func (sc *Scenario) ControllerConfig(o DeployOptions) (controller.Config, error)
 	cfg.ExploreResets = faults.ExploreResets
 	cfg.ExploreConnBreaks = faults.ExploreConnBreaks
 	cfg.MaxResetsPerPath = faults.MaxResetsPerPath
-	if sc.MCStates > 0 {
-		cfg.MCStates = sc.MCStates
+	spec, err := sc.resolvePolicySpec(o)
+	if err != nil {
+		return controller.Config{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
-	if o.MCStates > 0 {
-		cfg.MCStates = o.MCStates
+	cfg.Policy = spec
+	// Mirror the resolved base into the deprecated scalars so legacy
+	// readers of the controller config observe the same bounds.
+	if spec.Base.States > 0 {
+		cfg.MCStates = spec.Base.States
 	}
-	cfg.Workers = o.Workers
+	cfg.Workers = spec.Base.Workers
 	if o.PerStateCost > 0 {
 		cfg.PerStateCost = o.PerStateCost
 	}
@@ -267,4 +281,42 @@ func (sc *Scenario) ControllerConfig(o DeployOptions) (controller.Config, error)
 		cfg.SnapshotInterval = o.SnapshotInterval
 	}
 	return cfg, nil
+}
+
+// resolvePolicySpec is the ONE place the checker budget policy for a
+// deployment is decided. Precedence, highest first, per field:
+//
+//	spec source   o.PolicySpec  >  sc.CheckerPolicy  >  zero (FixedPolicy)
+//	kind          o.Policy      >  spec.Kind         >  "fixed"
+//	states        o.MCStates    >  spec.Base.States  >  sc.MCStates  >  controller default
+//	workers       o.Workers     >  spec.Base.Workers >  GOMAXPROCS
+//
+// All other spec fields (depth, wall, violations, adaptive/scaled tuning)
+// come from the winning spec source; unset values fall to the controller
+// defaults (Config.policySpec). The deprecated sc.MCStates scalar feeds the
+// states fallback only — it never overrides a CheckerPolicy that sets its
+// own Base.States. TestPolicyPrecedence pins this table.
+func (sc *Scenario) resolvePolicySpec(o DeployOptions) (mc.PolicySpec, error) {
+	spec := sc.CheckerPolicy
+	if o.PolicySpec != nil {
+		spec = *o.PolicySpec
+	}
+	if o.Policy != "" {
+		spec.Kind = o.Policy
+	}
+	if spec.Base.States == 0 {
+		spec.Base.States = sc.MCStates
+	}
+	if o.MCStates > 0 {
+		spec.Base.States = o.MCStates
+	}
+	if o.Workers > 0 {
+		spec.Base.Workers = o.Workers
+	}
+	// Validate the kind here so a bad -policy string is a Deploy error,
+	// not a controller panic mid-deployment.
+	if _, err := spec.New(); err != nil {
+		return mc.PolicySpec{}, err
+	}
+	return spec, nil
 }

@@ -38,6 +38,7 @@ func main() {
 		policy   = flag.String("policy", "", "checker budget policy (fixed|scaled|adaptive; empty = scenario default)")
 		states   = flag.Int("states", 0, "sweep: base per-round state budget (0 = 4000)")
 		rounds   = flag.Int("rounds", 0, "sweep: planning rounds per cell (0 = 3)")
+		reduce   = flag.String("reduce", "", "sweep: restrict the partial-order-reduction axis (on|off; empty = sweep both)")
 	)
 	flag.Parse()
 
@@ -82,6 +83,16 @@ func main() {
 			}
 			if *policy != "" {
 				cfg.Policies = []string{*policy}
+			}
+			switch *reduce {
+			case "on":
+				cfg.Reduce = []bool{true}
+			case "off":
+				cfg.Reduce = []bool{false}
+			case "":
+			default:
+				fmt.Fprintf(os.Stderr, "unknown -reduce %q (want on|off)\n", *reduce)
+				os.Exit(2)
 			}
 			fmt.Print(experiments.FormatSweep(experiments.Sweep(cfg)))
 		case "overhead":

@@ -11,6 +11,12 @@
 //	mcheck -service paxos -variant bug1 -mode random-walk -walks 500
 //	mcheck -service bulletprime -nodes 3 -mode exhaustive -states 50000
 //	mcheck -service chord -policy scaled -states 20000
+//	mcheck -service paxos -mode exhaustive -reduce=false
+//
+// -reduce (default on) runs the sleep-set partial-order reduction: the
+// search claims the same states and reports the same violations while
+// executing fewer handler calls. Turn it off to measure the unreduced
+// transition count or when instrumenting message-arrival order itself.
 //
 // -policy selects the budget policy that plans the search budget from the
 // flag-provided base (fixed = the flags verbatim; scaled = states scaled by
@@ -42,6 +48,7 @@ func main() {
 		maxWall    = flag.Duration("wall", time.Minute, "wall-clock budget")
 		resets     = flag.Bool("resets", true, "explore node resets")
 		connBreaks = flag.Bool("connbreaks", false, "explore spontaneous connection breaks")
+		reduce     = flag.Bool("reduce", true, "sleep-set partial-order reduction (same states and violations, fewer transitions)")
 		walks      = flag.Int("walks", 200, "random walks (random-walk mode)")
 		walkDepth  = flag.Int("walkdepth", 60, "random walk depth")
 		maxViol    = flag.Int("violations", 3, "stop after this many violations")
@@ -117,6 +124,7 @@ func main() {
 	})
 	cfg.ExploreResets = *resets
 	cfg.ExploreConnBreaks = *connBreaks
+	cfg.Reduce = *reduce
 	cfg.Walks = *walks
 	cfg.WalkDepth = *walkDepth
 	cfg.Seed = *seed
@@ -131,6 +139,8 @@ func main() {
 		res.StatesExplored, res.Transitions, res.MaxDepthReached, res.Elapsed.Round(time.Millisecond),
 		res.PeakMemoryBytes, res.PerStateBytes,
 		float64(res.StatesExplored)/res.Elapsed.Seconds())
+	fmt.Printf("pruned=%d (sleep-hits=%d) steals=%d steal-fails=%d\n",
+		res.TransitionsPruned, res.SleepHits, res.Steals, res.StealFails)
 	if len(res.Violations) == 0 {
 		fmt.Println("no violations found")
 		return

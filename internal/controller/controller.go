@@ -104,6 +104,14 @@ type Config struct {
 	// MaxResetsPerPath bounds resets along one predicted path (0 =
 	// checker default).
 	MaxResetsPerPath int
+	// Reduce enables sleep-set partial-order reduction in the
+	// consequence-prediction rounds (mc.Config.Reduce). The reduced
+	// search claims the identical state set and reports the identical
+	// violations — it just executes fewer handler calls to get there —
+	// so predictions, filters and the virtual round latency (which is
+	// charged per explored state) are unchanged; only host wall time
+	// drops. Scenario.Reduction is the per-scenario default.
+	Reduce bool
 	// EnableISC turns on the immediate safety check as a fallback.
 	EnableISC bool
 	// CheckFilterSafety re-runs consequence prediction with a candidate
@@ -202,7 +210,15 @@ type Stats struct {
 	FilterUnsafe        int64 // filters rejected by the safety recheck
 	ReplayReinstalls    int64
 	StatesExplored      int64
-	MCVirtualTime       time.Duration
+	// TransitionsPruned, SleepHits, Steals and StealFails aggregate the
+	// checker's partial-order-reduction and work-stealing counters over
+	// all rounds (including filter-safety rechecks). Steal counts are
+	// scheduling telemetry, not part of the deterministic search result.
+	TransitionsPruned int64
+	SleepHits         int64
+	Steals            int64
+	StealFails        int64
+	MCVirtualTime     time.Duration
 	// LastBudget is the budget the policy planned for the most recent
 	// (non-skipped) round.
 	LastBudget mc.Budget
@@ -343,6 +359,7 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 		ExploreResets:     c.cfg.ExploreResets,
 		ExploreConnBreaks: c.cfg.ExploreConnBreaks,
 		MaxResetsPerPath:  c.cfg.MaxResetsPerPath,
+		Reduce:            c.cfg.Reduce,
 		Seed:              c.cfg.Seed,
 	}
 
@@ -382,6 +399,7 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	// model-checking latency, reproducing the checker/system race.
 	res := mc.NewSearch(searchCfg).Run(start)
 	c.Stats.StatesExplored += int64(res.StatesExplored)
+	c.observeCounters(res)
 	mcLatency := replayLatency + time.Duration(res.StatesExplored)*c.cfg.PerStateCost
 	c.Stats.MCVirtualTime += mcLatency
 	// Feed the policy the round report. Elapsed is the virtual checker
@@ -399,6 +417,7 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 		Budget:     ranWith,
 		States:     res.StatesExplored,
 		Violations: len(res.Violations),
+		Pruned:     res.TransitionsPruned,
 		Elapsed:    time.Duration(res.StatesExplored) * c.cfg.PerStateCost,
 	})
 	c.sim.After(mcLatency, func() {
@@ -502,7 +521,17 @@ func (c *Controller) filterIsSafe(start *mc.GState, searchCfg mc.Config, f sm.Fi
 	cfg.Budget.States = searchCfg.Budget.States / 2
 	res := mc.NewSearch(cfg).Run(start)
 	c.Stats.StatesExplored += int64(res.StatesExplored)
+	c.observeCounters(res)
 	return len(res.Violations) == 0
+}
+
+// observeCounters folds one search's reduction and work-stealing counters
+// into the controller stats.
+func (c *Controller) observeCounters(res *mc.Result) {
+	c.Stats.TransitionsPruned += int64(res.TransitionsPruned)
+	c.Stats.SleepHits += int64(res.SleepHits)
+	c.Stats.Steals += int64(res.Steals)
+	c.Stats.StealFails += int64(res.StealFails)
 }
 
 func (c *Controller) recordFinding(f Finding) {

@@ -9,8 +9,9 @@ import (
 	"crystalball/internal/stats"
 )
 
-// SweepConfig parameterises the scenario x workers x policy coverage
-// matrix (the MET-style sweep the scenario registry was built for).
+// SweepConfig parameterises the scenario x workers x policy x reduction
+// coverage matrix (the MET-style sweep the scenario registry was built
+// for).
 type SweepConfig struct {
 	Seed int64
 	// Workers lists the worker-pool sizes to sweep (nil = 1, 2, 4).
@@ -18,6 +19,10 @@ type SweepConfig struct {
 	// Policies lists the budget-policy kinds to sweep (nil = all
 	// built-ins).
 	Policies []string
+	// Reduce lists the partial-order-reduction settings to sweep (nil =
+	// off then on, so each cell's coverage gain is visible in adjacent
+	// rows).
+	Reduce []bool
 	// States is the base per-round state budget every policy plans from
 	// (0 = 4000).
 	States int
@@ -29,33 +34,50 @@ type SweepConfig struct {
 }
 
 // SweepRow is one cell of the matrix: a scenario checked offline under one
-// (policy, workers) combination for cfg.Rounds planning rounds.
+// (policy, workers, reduce) combination for cfg.Rounds planning rounds.
 type SweepRow struct {
 	Scenario string
 	Policy   string
 	Workers  int
+	// Reduce records whether the cell ran with sleep-set partial-order
+	// reduction.
+	Reduce bool
 	// PlannedStates is the last round's planned state budget.
 	PlannedStates int
 	// States and Transitions aggregate over all rounds.
 	States      int
 	Transitions int
-	// StatesPerSec is the last round's wall-clock throughput.
-	StatesPerSec float64
+	// Pruned aggregates the transitions the checker skipped as provably
+	// redundant (sleep-set hits plus local-state prunes).
+	Pruned int
+	// DistinctLocals counts the distinct node-local states reached,
+	// summed over rounds (each round reports its own distinct set).
+	DistinctLocals int
+	// Coverage is the sweep's quality metric — distinct local states
+	// reached per 1000 states of exploration budget. Raw states/sec
+	// rewards re-claiming cheap duplicate interleavings; locals-per-
+	// budget measures how much *new service behavior* each unit of
+	// checker budget buys, which is what consequence prediction's
+	// lookahead actually depends on.
+	Coverage float64
 	// Distinct counts distinct violation signatures seen across rounds.
 	Distinct int
 }
 
 // Sweep runs the matrix: every registered scenario x every worker count x
-// every policy kind. Each cell explores the scenario's initial state with
-// consequence prediction for cfg.Rounds rounds, letting the policy re-plan
-// between rounds from the previous round's wall-clock report — the same
-// Plan/Observe loop live controllers run, driven offline.
+// every policy kind x reduction off/on. Each cell explores the scenario's
+// initial state with consequence prediction for cfg.Rounds rounds, letting
+// the policy re-plan between rounds from the previous round's wall-clock
+// report — the same Plan/Observe loop live controllers run, driven offline.
 func Sweep(cfg SweepConfig) []SweepRow {
 	if len(cfg.Workers) == 0 {
 		cfg.Workers = []int{1, 2, 4}
 	}
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = mc.PolicyKinds()
+	}
+	if len(cfg.Reduce) == 0 {
+		cfg.Reduce = []bool{false, true}
 	}
 	if cfg.States == 0 {
 		cfg.States = 4000
@@ -70,20 +92,23 @@ func Sweep(cfg SweepConfig) []SweepRow {
 	for _, name := range scenario.Names() {
 		for _, policy := range cfg.Policies {
 			for _, workers := range cfg.Workers {
-				rows = append(rows, sweepCell(cfg, name, policy, workers))
+				for _, reduce := range cfg.Reduce {
+					rows = append(rows, sweepCell(cfg, name, policy, workers, reduce))
+				}
 			}
 		}
 	}
 	return rows
 }
 
-func sweepCell(cfg SweepConfig, name, policy string, workers int) SweepRow {
-	row := SweepRow{Scenario: name, Policy: policy, Workers: workers}
+func sweepCell(cfg SweepConfig, name, policy string, workers int, reduce bool) SweepRow {
+	row := SweepRow{Scenario: name, Policy: policy, Workers: workers, Reduce: reduce}
 	pol := mc.PolicySpec{
 		Kind: policy,
 		Base: mc.Budget{States: cfg.States, Violations: 8, Workers: workers},
 	}.MustNew()
 	distinct := map[string]bool{}
+	budgeted := 0
 	for round := 1; round <= cfg.Rounds; round++ {
 		g, searchCfg, err := scenario.InitialState(name, scenario.Options{})
 		if err != nil {
@@ -98,11 +123,13 @@ func sweepCell(cfg SweepConfig, name, policy string, workers int) SweepRow {
 		searchCfg.Mode = mc.Consequence
 		searchCfg.Budget = plan
 		searchCfg.Seed = cfg.Seed + int64(round)
+		searchCfg.Reduce = reduce
 		res := mc.NewSearch(searchCfg).Run(g)
 		pol.Observe(mc.RoundReport{
 			Budget:     plan,
 			States:     res.StatesExplored,
 			Violations: len(res.Violations),
+			Pruned:     res.TransitionsPruned,
 			Elapsed:    res.Elapsed,
 		})
 		for _, v := range res.Violations {
@@ -111,25 +138,35 @@ func sweepCell(cfg SweepConfig, name, policy string, workers int) SweepRow {
 		row.PlannedStates = plan.States
 		row.States += res.StatesExplored
 		row.Transitions += res.Transitions
-		if res.Elapsed > 0 {
-			row.StatesPerSec = float64(res.StatesExplored) / res.Elapsed.Seconds()
-		}
+		row.Pruned += res.TransitionsPruned
+		row.DistinctLocals += res.DistinctLocalStates
+		budgeted += plan.States
+	}
+	if budgeted > 0 {
+		row.Coverage = 1000 * float64(row.DistinctLocals) / float64(budgeted)
 	}
 	row.Distinct = len(distinct)
 	return row
 }
 
-// FormatSweep renders the matrix as a states/sec + findings coverage
-// table.
+// FormatSweep renders the matrix as a locals-per-budget coverage table.
 func FormatSweep(rows []SweepRow) string {
 	t := stats.Table{
-		Title: "Scenario x workers x policy sweep (consequence prediction, per-cell rounds with feedback)",
-		Header: []string{"scenario", "policy", "workers", "planned-states",
-			"states", "transitions", "states/sec", "distinct-bugs"},
+		Title: "Scenario x workers x policy x reduction sweep (consequence prediction, per-cell rounds with feedback)",
+		Header: []string{"scenario", "policy", "workers", "reduce", "planned-states",
+			"states", "transitions", "pruned", "locals", "locals/1k-budget", "distinct-bugs"},
 	}
 	for _, r := range rows {
-		t.Add(r.Scenario, r.Policy, r.Workers, r.PlannedStates,
-			r.States, r.Transitions, fmt.Sprintf("%.0f", r.StatesPerSec), r.Distinct)
+		t.Add(r.Scenario, r.Policy, r.Workers, onOff(r.Reduce), r.PlannedStates,
+			r.States, r.Transitions, r.Pruned, r.DistinctLocals,
+			fmt.Sprintf("%.1f", r.Coverage), r.Distinct)
 	}
 	return t.String()
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

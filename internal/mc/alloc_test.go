@@ -91,6 +91,48 @@ func TestSuccessorAllocBound(t *testing.T) {
 	}
 }
 
+// TestReductionCountersAllocBound: the reduction and work-stealing
+// counters are pre-allocated atomics on the engine — bumping them costs no
+// allocation — and the sleep-set bookkeeping itself adds at most a small
+// constant per executed transition (one childSleep slice per expanded
+// child). The bound is relative to the unreduced engine so the existing
+// per-state allocation contract keeps gating both configurations.
+func TestReductionCountersAllocBound(t *testing.T) {
+	run := func(reduce bool) (res *Result, perTransition float64) {
+		cfg := Config{
+			Props:         poisonAt(1000),
+			Factory:       newToy,
+			Mode:          Exhaustive,
+			MaxDepth:      6,
+			Workers:       1,
+			Seed:          7,
+			ExploreResets: true,
+			Reduce:        reduce,
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			res = NewSearch(cfg).Run(multiTimerStart())
+		})
+		if res.Transitions == 0 {
+			t.Fatal("no transitions executed")
+		}
+		return res, allocs / float64(res.Transitions)
+	}
+	base, basePer := run(false)
+	red, redPer := run(true)
+	if red.SleepHits == 0 {
+		t.Fatalf("toy search pruned nothing; bound is vacuous")
+	}
+	if red.StatesExplored != base.StatesExplored {
+		t.Fatalf("reduced search changed the state set: %d vs %d",
+			red.StatesExplored, base.StatesExplored)
+	}
+	const slack = 3.0 // sleep-set slices + accounting, per transition
+	if redPer > basePer+slack {
+		t.Fatalf("reduced engine allocates %.1f/transition, unreduced %.1f (+%.0f allowed)",
+			redPer, basePer, slack)
+	}
+}
+
 // TestFNVEventMatchesDescribe pins edgeSeed's streaming event hash to the
 // rendered Describe string for every event kind: the per-edge random
 // streams — and so the whole exploration — stay byte-identical to the

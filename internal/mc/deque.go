@@ -1,0 +1,90 @@
+package mc
+
+import "sync/atomic"
+
+// wsDeque is a Chase-Lev work-stealing deque over level indexes: the owning
+// worker pushes and pops at the bottom (LIFO, no contention in the common
+// case), thieves steal from the top (FIFO, one CAS per steal). The engine
+// gives each worker one deque seeded with a contiguous chunk of the current
+// BFS level, so the frontier is contention-free until a worker drains its
+// own chunk and starts stealing — the first step toward a sharded,
+// multi-process frontier where "steal" becomes a network request.
+//
+// The implementation is the classic array-based Chase-Lev deque specialised
+// to one grow-free round: the engine sizes the array to the seeded chunk and
+// only the owner pushes, so the array never needs to grow mid-level.
+type wsDeque struct {
+	items  []int32
+	top    atomic.Int64 // next steal slot (front)
+	bottom atomic.Int64 // next push slot (back)
+}
+
+// reset re-seeds the deque with n items mapped by base: slot i holds
+// base + i. Must be called before the workers that pop/steal are running.
+func (d *wsDeque) reset(base, n int) {
+	if cap(d.items) < n {
+		d.items = make([]int32, n)
+	}
+	d.items = d.items[:n]
+	for i := 0; i < n; i++ {
+		d.items[i] = int32(base + i)
+	}
+	d.top.Store(0)
+	d.bottom.Store(int64(n))
+}
+
+// push appends an item at the bottom. Owner-only.
+func (d *wsDeque) push(v int32) {
+	b := d.bottom.Load()
+	if int(b) == len(d.items) {
+		if int(b) == cap(d.items) {
+			grown := make([]int32, len(d.items), 2*cap(d.items)+1)
+			copy(grown, d.items)
+			d.items = grown
+		}
+		d.items = d.items[:b+1]
+	}
+	d.items[b] = v
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the bottom item (the owner's LIFO end); ok is
+// false when the deque is empty. Owner-only.
+func (d *wsDeque) pop() (v int32, ok bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	v = d.items[b]
+	if t == b {
+		// Last item: race the thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			ok = false // a thief won
+		} else {
+			ok = true
+		}
+		d.bottom.Store(t + 1)
+		return v, ok
+	}
+	return v, true
+}
+
+// steal removes and returns the top item (the thieves' FIFO end). ok is
+// false when the deque is empty or the CAS raced; raced distinguishes a
+// lost race (retry may succeed) from emptiness.
+func (d *wsDeque) steal() (v int32, ok, raced bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false, false
+	}
+	v = d.items[t]
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false, true
+	}
+	return v, true, false
+}

@@ -75,32 +75,41 @@ func TestRandomWalkSameSeedReproducible(t *testing.T) {
 // TestSerialBFSSameSeedReproducible: under a state cutoff the serial engine
 // admits a prefix of the expansion order, so any map-order leak into event
 // enumeration shows up as run-to-run drift in the admitted set. Resets are
-// enabled to cover the reset transition's RST fan-out ordering.
+// enabled to cover the reset transition's RST fan-out ordering, and both
+// partial-order-reduction settings are exercised — the sleep-set machinery
+// must be as deterministic as the expansion order it prunes.
 func TestSerialBFSSameSeedReproducible(t *testing.T) {
 	for _, mode := range []Mode{Exhaustive, Consequence} {
-		run := func() *Result {
-			s := NewSearch(Config{
-				Props:         poisonAt(4),
-				Factory:       newToy,
-				Mode:          mode,
-				MaxStates:     1500,
-				Workers:       1,
-				Seed:          7,
-				ExploreResets: true,
-			})
-			return s.Run(multiTimerStart())
-		}
-		a, b := run(), run()
-		if a.StatesExplored != b.StatesExplored || a.Transitions != b.Transitions {
-			t.Fatalf("%v: same-seed serial runs differ: states %d/%d transitions %d/%d",
-				mode, a.StatesExplored, b.StatesExplored, a.Transitions, b.Transitions)
-		}
-		if len(a.Violations) != len(b.Violations) {
-			t.Fatalf("%v: violation counts differ: %d vs %d", mode, len(a.Violations), len(b.Violations))
-		}
-		for i := range a.Violations {
-			if a.Violations[i].StateHash != b.Violations[i].StateHash {
-				t.Fatalf("%v: violation %d hash differs", mode, i)
+		for _, reduce := range []bool{false, true} {
+			run := func() *Result {
+				s := NewSearch(Config{
+					Props:         poisonAt(4),
+					Factory:       newToy,
+					Mode:          mode,
+					MaxStates:     1500,
+					Workers:       1,
+					Seed:          7,
+					ExploreResets: true,
+					Reduce:        reduce,
+				})
+				return s.Run(multiTimerStart())
+			}
+			a, b := run(), run()
+			if a.StatesExplored != b.StatesExplored || a.Transitions != b.Transitions {
+				t.Fatalf("%v reduce=%v: same-seed serial runs differ: states %d/%d transitions %d/%d",
+					mode, reduce, a.StatesExplored, b.StatesExplored, a.Transitions, b.Transitions)
+			}
+			if a.SleepHits != b.SleepHits || a.TransitionsPruned != b.TransitionsPruned {
+				t.Fatalf("%v reduce=%v: same-seed counters differ: sleep %d/%d pruned %d/%d",
+					mode, reduce, a.SleepHits, b.SleepHits, a.TransitionsPruned, b.TransitionsPruned)
+			}
+			if len(a.Violations) != len(b.Violations) {
+				t.Fatalf("%v reduce=%v: violation counts differ: %d vs %d", mode, reduce, len(a.Violations), len(b.Violations))
+			}
+			for i := range a.Violations {
+				if a.Violations[i].StateHash != b.Violations[i].StateHash {
+					t.Fatalf("%v reduce=%v: violation %d hash differs", mode, reduce, i)
+				}
 			}
 		}
 	}

@@ -424,29 +424,49 @@ func TestStartStateNotMutated(t *testing.T) {
 	}
 }
 
-func TestHashInsensitiveToMsgOrder(t *testing.T) {
+func TestHashMsgOrderSemantics(t *testing.T) {
+	// Order across distinct (from,to,type) queues is bookkeeping: the
+	// fingerprint must not depend on it.
 	g1 := NewGState()
 	g1.AddNode(1, newToy(1), nil)
-	g1.AddMessage(1, 1, ping{N: 1})
-	g1.AddMessage(1, 1, ping{N: 2})
+	g1.AddNode(2, newToy(2), nil)
+	g1.AddMessage(1, 2, ping{N: 1})
+	g1.AddMessage(2, 1, ping{N: 2})
 	g2 := NewGState()
 	g2.AddNode(1, newToy(1), nil)
-	g2.AddMessage(1, 1, ping{N: 2})
-	g2.AddMessage(1, 1, ping{N: 1})
+	g2.AddNode(2, newToy(2), nil)
+	g2.AddMessage(2, 1, ping{N: 2})
+	g2.AddMessage(1, 2, ping{N: 1})
 	if g1.Hash() != g2.Hash() {
-		t.Fatal("in-flight multiset hashing is order sensitive")
+		t.Fatal("cross-queue in-flight order leaked into the fingerprint")
 	}
-	// The commutative fingerprint must still distinguish true multisets:
-	// two copies of the same message are not one copy.
+	// Order within one queue decides which message the FIFO delivery rule
+	// hands over next, so it is part of the state: swapped queue contents
+	// must not collide (hash-equal must imply successor-equal).
+	q1 := NewGState()
+	q1.AddNode(1, newToy(1), nil)
+	q1.AddMessage(1, 1, ping{N: 1})
+	q1.AddMessage(1, 1, ping{N: 2})
+	q2 := NewGState()
+	q2.AddNode(1, newToy(1), nil)
+	q2.AddMessage(1, 1, ping{N: 2})
+	q2.AddMessage(1, 1, ping{N: 1})
+	if q1.Hash() == q2.Hash() {
+		t.Fatal("same-queue reordering collided: FIFO head not captured")
+	}
+	// The fingerprint must still distinguish true multisets: two copies of
+	// the same message are not one copy.
 	g3 := NewGState()
 	g3.AddNode(1, newToy(1), nil)
 	g3.AddMessage(1, 1, ping{N: 1})
 	g3.AddMessage(1, 1, ping{N: 1})
-	if g3.Hash() == g1.Hash() {
+	if g3.Hash() == q1.Hash() {
 		t.Fatal("duplicate message collapsed: multiset became a set")
 	}
-	if g3.Hash() != g3.FullHash() {
-		t.Fatal("incremental hash disagrees with from-scratch oracle")
+	for _, g := range []*GState{g1, g2, g3, q1, q2} {
+		if g.Hash() != g.FullHash() {
+			t.Fatal("incremental hash disagrees with from-scratch oracle")
+		}
 	}
 }
 

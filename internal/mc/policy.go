@@ -30,6 +30,11 @@ type Budget struct {
 	// states; the reported list is additionally deduplicated by
 	// Signature.
 	Violations int
+	// Transitions bounds executed handler invocations — a deterministic
+	// stand-in for wall clock (per-state cost is dominated by handler
+	// execution), and the axis partial-order reduction stretches: at an
+	// equal transition budget a reduced search penetrates deeper.
+	Transitions int
 	// Workers is the exploration worker-pool size (0 = GOMAXPROCS). With
 	// one worker the breadth-first strategies reproduce the paper's
 	// serial search exactly.
@@ -40,10 +45,11 @@ type Budget struct {
 // shared by every worker's admission check).
 func (b Budget) Stop() StopCriterion {
 	return StopCriterion{
-		MaxStates:     b.States,
-		MaxDepth:      b.Depth,
-		MaxWall:       b.Wall,
-		MaxViolations: b.Violations,
+		MaxStates:      b.States,
+		MaxDepth:       b.Depth,
+		MaxWall:        b.Wall,
+		MaxViolations:  b.Violations,
+		MaxTransitions: b.Transitions,
 	}
 }
 
@@ -76,6 +82,15 @@ type RoundReport struct {
 	States int
 	// Violations is the number of violations the round reported.
 	Violations int
+	// Pruned is the number of transitions the round skipped as provably
+	// redundant (Result.TransitionsPruned: sleep-set hits plus local-state
+	// prunes). States counts only what was actually explored, so the
+	// states/sec signal adaptive policies smooth stays honest under
+	// partial-order reduction — Pruned is reported separately for
+	// policies (or telemetry) that want effective coverage, which is
+	// States' worth of claims bought with States+Pruned's worth of
+	// candidate transitions.
+	Pruned int
 	// Elapsed is the round's exploration time (see type comment).
 	Elapsed time.Duration
 }

@@ -34,17 +34,20 @@ func putScratch(sc *scratch) {
 }
 
 // edgeSeed derives the deterministic per-edge random seed for executing
-// event ev from state g: seed ^ FNV-64a(state hash bytes, ev.Describe()).
-// The FNV runs over exactly the bytes the previous fnv.New64a-based
-// implementation hashed — including the rendered Describe string — but
-// streams them through fnvEvent without materialising the string, so the
-// hot path allocates nothing. TestFNVEventMatchesDescribe pins the
-// equivalence for every event kind.
-func edgeSeed(seed int64, g *GState, ev sm.Event) int64 {
+// event ev at a node whose local-state hash is lhash:
+// seed ^ FNV-64a(lhash bytes, ev.Describe()-equivalent bytes). Seeding from
+// the *executing node's* hash — not the global state hash — makes a
+// handler's effect, random draws included, a pure function of (node local
+// state, event): the property the partial-order reduction's commutation
+// promises rest on (reduce.go), and a better model of service randomness
+// besides (a node's dice cannot depend on state it has never observed).
+// The FNV streams the event through fnvEvent without materialising the
+// Describe string, so the hot path allocates nothing;
+// TestFNVEventMatchesDescribe pins the equivalence for every event kind.
+func edgeSeed(seed int64, lhash uint64, ev sm.Event) int64 {
 	h := sm.FNV64aInit
-	hash := g.Hash()
 	for i := 0; i < 8; i++ {
-		h = sm.FNV64aByte(h, byte(hash>>(8*i)))
+		h = sm.FNV64aByte(h, byte(lhash>>(8*i)))
 	}
 	return seed ^ int64(fnvEvent(h, ev))
 }

@@ -94,6 +94,27 @@ type Config struct {
 	Walks     int
 	// Seed drives deterministic handler randomness.
 	Seed int64
+	// Reduce enables dynamic partial-order reduction: sleep sets over
+	// commuting transitions (independence per reduce.go's dependent —
+	// different target nodes, disjoint RST queues) prune expansions whose
+	// targets are provably duplicates of states a sibling branch reaches
+	// at the same BFS level. The claimed-state set, the violations and
+	// the distinct local-state set are identical to the unreduced search;
+	// only redundant handler executions are skipped. Applies to the
+	// breadth-first strategies (Exhaustive, Consequence).
+	Reduce bool
+	// Reducer overrides the independence oracle consulted when Reduce is
+	// on (nil = DeliveryIndependence).
+	Reducer Reducer
+	// RecordLocalStates asks the breadth-first engine to return the
+	// sorted set of distinct node-local state hashes it claimed
+	// (Result.LocalStates); differential oracles compare the sets.
+	RecordLocalStates bool
+	// LegacyFrontier selects the pre-deque shared-cursor level FIFO.
+	//
+	// Deprecated: benchmark escape hatch only — BenchmarkParallelSearch
+	// compares the work-stealing deques against it.
+	LegacyFrontier bool
 }
 
 // mergeLegacy resolves the effective budget: explicit Budget fields win,
@@ -127,6 +148,9 @@ func (c *Config) defaults() {
 	}
 	if c.Walks == 0 {
 		c.Walks = 200
+	}
+	if c.Reducer == nil {
+		c.Reducer = DeliveryIndependence
 	}
 	b := c.mergeLegacy()
 	if b.Workers <= 0 {
@@ -213,6 +237,25 @@ type Result struct {
 	// LocalPrunes counts internal-action expansions skipped by the
 	// consequence-prediction rule (0 in exhaustive mode).
 	LocalPrunes int
+	// SleepHits counts network transitions skipped by the sleep-set
+	// partial-order reduction (0 unless Config.Reduce).
+	SleepHits int
+	// TransitionsPruned is the total expansions avoided: SleepHits plus
+	// LocalPrunes. Controllers report it per round so budget policies see
+	// honest per-state work.
+	TransitionsPruned int
+	// Steals and StealFails count work-stealing deque traffic: successful
+	// steals and lost steal races. Scheduling telemetry — unlike every
+	// counter above they are NOT deterministic across runs.
+	Steals     int
+	StealFails int
+	// DistinctLocalStates counts distinct node-local states over all
+	// claimed states — the ROADMAP's coverage metric ("distinct local
+	// states reached per budget").
+	DistinctLocalStates int
+	// LocalStates is the sorted distinct local-state hash set, filled
+	// only when Config.RecordLocalStates is set.
+	LocalStates []uint64
 	// Workers is the worker-pool size the search ran with.
 	Workers int
 }
@@ -248,6 +291,10 @@ type searchNode struct {
 	// keeps exploring (the paper's Figures 5 and 8 likewise continue
 	// past states added to the error set).
 	violated map[string]bool
+	// sleep is the node's sleep set under partial-order reduction: the
+	// network transitions this path has proven redundant (nil when
+	// reduction is off or nothing is slept).
+	sleep sleepSet
 }
 
 func (n *searchNode) path() []sm.Event {
@@ -286,7 +333,7 @@ func (s *Search) applyFiltered(g *GState, ev sm.Event, f sm.Filter, sc *scratch)
 		return nil
 	}
 	next := g.shallowClone()
-	next.removeMsgAt(i)
+	next.removeMsgAt(i, sc)
 	if f.BreakConn {
 		if _, known := next.nodes[me.From]; known {
 			next.addMsg(InFlight{From: me.To, To: me.From, Msg: nil}, sc)

@@ -121,8 +121,8 @@ func (ns *NodeState) finalize(id sm.NodeID, parent *NodeState, sc *scratch) {
 	hdr[5] = byte(uint32(len(buf)) >> 16)
 	hdr[6] = byte(uint32(len(buf)) >> 8)
 	hdr[7] = byte(uint32(len(buf)))
-	ns.chash = sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aByte(sm.FNV64aInit, domainNode), hdr[:]), buf)
-	ns.lhash = sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aInit, hdr[:]), buf)
+	ns.chash = sm.Mix64(sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aByte(sm.FNV64aInit, domainNode), hdr[:]), buf))
+	ns.lhash = sm.Mix64(sm.FNV64aBytes(sm.FNV64aBytes(sm.FNV64aInit, hdr[:]), buf))
 }
 
 // localHash returns the hash of the node-local state (service state +
@@ -141,12 +141,24 @@ type InFlight struct {
 	From  sm.NodeID
 	To    sm.NodeID
 	Msg   sm.Message // nil => RST notification
+	pos   int        // position within the item's (From,To,type) FIFO queue
 	chash uint64     // domain-tagged component hash, set at construction
 	sz    int        // EncodedSize contribution, set at construction
 }
 
 // RST reports whether the item is a connection-break notification.
 func (f InFlight) RST() bool { return f.Msg == nil }
+
+// sameQueue reports whether a and b travel the same per-pair FIFO queue:
+// identical endpoints and message type (all RSTs for a pair share one
+// queue). Delivery picks each queue's head, so order *within* a queue is
+// semantically significant while order *across* queues is bookkeeping.
+func sameQueue(a, b *InFlight) bool {
+	if a.From != b.From || a.To != b.To || a.RST() != b.RST() {
+		return false
+	}
+	return a.RST() || a.Msg.MsgType() == b.Msg.MsgType()
+}
 
 func (f InFlight) encode(e *sm.Encoder) {
 	e.NodeID(f.From)
@@ -194,10 +206,13 @@ var resetsComp0 = func() uint64 {
 // The state fingerprint (Hash) is maintained incrementally: hsum is the
 // wrapping sum of the component hashes of every node, in-flight item and
 // stale pair plus the resets counter. Addition is commutative, so the
-// fingerprint is independent of bookkeeping order (in-flight items hash as
-// a multiset, as the paper's model requires), and every mutation helper
-// below updates the sum in O(1) — a successor's hash costs O(changed
-// components) instead of a full re-encoding of every node. The encoded
+// fingerprint is independent of bookkeeping order — in-flight items hash
+// as a multiset of (item, queue position) pairs: order across distinct
+// (from,to,type) queues is invisible, while order within one queue (which
+// decides the FIFO delivery head) is captured by the position term — and
+// every mutation helper below updates the sum in O(1) amortised; a
+// successor's hash costs O(changed components) instead of a full
+// re-encoding of every node. The encoded
 // footprint (EncodedSize) and the sorted node-id list (Nodes) are
 // maintained the same way, so neither re-walks the state per query.
 type GState struct {
@@ -277,11 +292,24 @@ func (g *GState) AddMessage(from, to sm.NodeID, msg sm.Message) {
 
 // addMsg appends an in-flight item, computing its component hash and size
 // at construction time and folding them into the running totals.
+//
+// The component hash covers the item's queue position — the number of
+// same-queue items already in flight — not just its content. The
+// fingerprint sum is insensitive to slice order across queues (bookkeeping
+// only), but within one (from,to,type) queue the order decides which item
+// enabledInto's FIFO head pick delivers next, so two states whose shared
+// queue holds the same items in different orders have different successor
+// sets and must not collide: without the position term, hash-equal would
+// not imply successor-equal, and claiming the "wrong" representative could
+// silently drop reachable states.
 func (g *GState) addMsg(m InFlight, sc *scratch) {
-	e := &sc.enc
-	e.Reset()
-	m.encode(e)
-	m.chash = e.DomainHash(domainMsg)
+	m.pos = 0
+	for i := range g.msgs {
+		if sameQueue(&g.msgs[i], &m) {
+			m.pos++
+		}
+	}
+	m.chash = msgComp(&m, sc)
 	m.sz = 13
 	if m.Msg != nil {
 		m.sz += m.Msg.Size()
@@ -291,15 +319,37 @@ func (g *GState) addMsg(m InFlight, sc *scratch) {
 	g.msgs = append(g.msgs, m)
 }
 
+// msgComp returns the fingerprint component hash of one in-flight item:
+// its encoding followed by its queue position, domain-tagged.
+func msgComp(m *InFlight, sc *scratch) uint64 {
+	e := &sc.enc
+	e.Reset()
+	m.encode(e)
+	e.Int(m.pos)
+	return e.DomainHash(domainMsg)
+}
+
 // removeMsgAt deletes the i-th in-flight item and updates the totals. The
 // slice is shifted in place: every caller operates on a successor whose
 // msgs slice was freshly copied by shallowClone, so no other state aliases
-// it.
-func (g *GState) removeMsgAt(i int) {
-	g.hsum -= g.msgs[i].chash
-	g.encSize -= g.msgs[i].sz
+// it. Later items in the removed item's queue shift one position toward
+// the head; their component hashes are swapped accordingly (queues longer
+// than one item are rare, so the rehash loop almost never fires).
+func (g *GState) removeMsgAt(i int, sc *scratch) {
+	removed := g.msgs[i]
+	g.hsum -= removed.chash
+	g.encSize -= removed.sz
 	copy(g.msgs[i:], g.msgs[i+1:])
 	g.msgs = g.msgs[:len(g.msgs)-1]
+	for j := i; j < len(g.msgs); j++ {
+		m := &g.msgs[j]
+		if sameQueue(m, &removed) {
+			g.hsum -= m.chash
+			m.pos--
+			m.chash = msgComp(m, sc)
+			g.hsum += m.chash
+		}
+	}
 }
 
 // setStale records a stale pair, updating the totals if it was absent.
@@ -362,13 +412,16 @@ func (g *GState) FillView(v *props.View) {
 }
 
 // Hash returns the state fingerprint: the commutative sum of the
-// domain-tagged FNV-64a component hashes of every node, in-flight item and
-// stale pair plus the resets counter. The sum is maintained incrementally
-// by every mutation, so Hash is O(1) and never writes to the state —
-// concurrent workers may hash a shared state freely. States differing only
-// in bookkeeping order (in-flight slice order, map iteration) collide as
-// they should; FullHash recomputes the same value from scratch and serves
-// as the differential oracle in tests.
+// domain-tagged, Mix64-finalized component hashes of every node, in-flight
+// item and stale pair plus the resets counter. The sum is maintained
+// incrementally by every mutation, so Hash is O(1) and never writes to the
+// state — concurrent workers may hash a shared state freely. States
+// differing only in bookkeeping order (slice order across distinct message
+// queues, map iteration) collide as they should, while states whose shared
+// FIFO queue holds the same messages in different orders — and which
+// therefore deliver different heads next — stay distinct; FullHash
+// recomputes the same value from scratch and serves as the differential
+// oracle in tests.
 //
 // Unlike the pre-incremental scheme, the fingerprint includes the resets
 // counter: two states equal in (nodes, messages, stale pairs) but reached
@@ -401,8 +454,17 @@ func (g *GState) FullHash() uint64 {
 		sum += e.DomainHash(domainNode)
 	}
 	for i := range g.msgs {
+		// Recompute the queue position independently of the cached pos
+		// field: the count of earlier same-queue items in slice order.
+		pos := 0
+		for j := 0; j < i; j++ {
+			if sameQueue(&g.msgs[j], &g.msgs[i]) {
+				pos++
+			}
+		}
 		e := sm.NewEncoder()
 		g.msgs[i].encode(e)
+		e.Int(pos)
 		sum += e.DomainHash(domainMsg)
 	}
 	for p, ok := range g.stale {

@@ -37,8 +37,8 @@ func (c *mcContext) Rand() *rand.Rand { return c.rng }
 // stream is identical to a freshly constructed sm.NewRand with the same
 // derived seed (Rand.Seed resets all internal state), but reuses the
 // scratch's Rand so the hot path allocates nothing.
-func edgeRNG(seed int64, g *GState, ev sm.Event, sc *scratch) *rand.Rand {
-	sc.rnd.Seed(edgeSeed(seed, g, ev))
+func edgeRNG(seed int64, ns *NodeState, ev sm.Event, sc *scratch) *rand.Rand {
+	sc.rnd.Seed(edgeSeed(seed, ns.localHash(), ev))
 	return sc.rnd
 }
 
@@ -63,7 +63,7 @@ func (s *Search) apply(g *GState, ev sm.Event, sc *scratch) *GState {
 	case sm.ErrorEvent:
 		return s.applyError(g, e, sc)
 	case sm.DropEvent:
-		return s.applyDrop(g, e)
+		return s.applyDrop(g, e, sc)
 	default:
 		return nil
 	}
@@ -119,7 +119,7 @@ func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, sc *scratch,
 	next := g.shallowClone()
 	cloned := ns.clone()
 	ctx := &sc.ctx
-	ctx.self, ctx.ns, ctx.sends, ctx.rng = node, cloned, ctx.sends[:0], edgeRNG(s.cfg.Seed, g, ev, sc)
+	ctx.self, ctx.ns, ctx.sends, ctx.rng = node, cloned, ctx.sends[:0], edgeRNG(s.cfg.Seed, ns, ev, sc)
 	run(ctx)
 	s.dispatchSends(next, ctx, sc)
 	// All mutations applied: freeze the clone's encoding/hashes (sharing
@@ -144,7 +144,7 @@ func (s *Search) applyMessage(g *GState, e sm.MsgEvent, sc *scratch) *GState {
 	}
 	// Remove the consumed message (runHandler copied the slice; handler
 	// sends only append, so index i is still valid).
-	next.removeMsgAt(i)
+	next.removeMsgAt(i, sc)
 	return next
 }
 
@@ -179,18 +179,18 @@ func (s *Search) applyError(g *GState, e sm.ErrorEvent, sc *scratch) *GState {
 		return nil
 	}
 	if i >= 0 {
-		next.removeMsgAt(i)
+		next.removeMsgAt(i, sc)
 	}
 	return next
 }
 
-func (s *Search) applyDrop(g *GState, e sm.DropEvent) *GState {
+func (s *Search) applyDrop(g *GState, e sm.DropEvent, sc *scratch) *GState {
 	i := findMsg(g, e.From, e.To, "", true)
 	if i < 0 {
 		return nil
 	}
 	next := g.shallowClone()
-	next.removeMsgAt(i)
+	next.removeMsgAt(i, sc)
 	return next
 }
 
@@ -211,7 +211,10 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent, sc *scratch) *GState {
 	}
 	next := g.shallowClone()
 	next.bumpResets(sc)
-	// Drop in-flight traffic touching the node.
+	// Drop in-flight traffic touching the node. The predicate depends only
+	// on the endpoints, so it removes whole (from,to,type) queues: the
+	// queue positions baked into surviving items' component hashes still
+	// count exactly their same-queue predecessors, and no rehash is needed.
 	kept := next.msgs[:0]
 	for _, m := range next.msgs {
 		if m.From != e.At && m.To != e.At {
@@ -254,7 +257,7 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent, sc *scratch) *GState {
 		ss.RestoreStable(stable)
 	}
 	ctx := &sc.ctx
-	ctx.self, ctx.ns, ctx.sends, ctx.rng = e.At, fresh, ctx.sends[:0], edgeRNG(s.cfg.Seed, g, e, sc)
+	ctx.self, ctx.ns, ctx.sends, ctx.rng = e.At, fresh, ctx.sends[:0], edgeRNG(s.cfg.Seed, ns, e, sc)
 	fresh.Svc.Init(ctx)
 	s.dispatchSends(next, ctx, sc)
 	fresh.finalize(e.At, ns, sc)

@@ -19,6 +19,12 @@ type StopCriterion struct {
 	// MaxViolations stops the search after this many distinct violating
 	// states (0 = collect all within other bounds).
 	MaxViolations int
+	// MaxTransitions bounds executed handler invocations (0 = unbounded):
+	// a deterministic stand-in for wall clock, since per-state cost is
+	// dominated by handler execution. It is the budget axis partial-order
+	// reduction actually stretches — at equal transitions a reduced search
+	// penetrates deeper than an unreduced one.
+	MaxTransitions int
 }
 
 // Stop returns the search's stop criterion, resolved from the budget (with
@@ -27,16 +33,34 @@ func (c *Config) Stop() StopCriterion {
 	return c.mergeLegacy().Stop()
 }
 
+// counters is the engine's shared telemetry block: exact atomic tallies of
+// work done (transitions executed), work avoided (consequence local prunes,
+// sleep-set hits) and work moved (deque steals and failed steal attempts).
+// Transitions, prunes and depth are deterministic functions of the search
+// configuration; steals and steal failures are scheduling telemetry and are
+// excluded from the determinism contracts.
+type counters struct {
+	transitions   atomic.Int64
+	localPrunes   atomic.Int64
+	sleepHits     atomic.Int64
+	steals        atomic.Int64
+	stealFails    atomic.Int64
+	maxDepth      atomic.Int64
+	frontierBytes atomic.Int64
+	peakBytes     atomic.Int64
+}
+
 // budget is the shared, atomically-updated accounting for one search run.
 // Every worker consults it before admitting a state; the counters are exact
 // (a rejected admission is rolled back), so bounded runs never overshoot
 // regardless of worker count.
 type budget struct {
-	crit     StopCriterion
-	began    time.Time
-	deadline time.Time // zero when MaxWall is unbounded
-	states   atomic.Int64
-	halted   atomic.Bool
+	crit        StopCriterion
+	began       time.Time
+	deadline    time.Time // zero when MaxWall is unbounded
+	states      atomic.Int64
+	transitions atomic.Int64
+	halted      atomic.Bool
 }
 
 func newBudget(crit StopCriterion, began time.Time) *budget {
@@ -63,6 +87,34 @@ func (b *budget) admitState() bool {
 		return false
 	}
 	return true
+}
+
+// admitTransition atomically claims one unit of the transition budget; it
+// returns false when MaxTransitions is exhausted (after rolling the claim
+// back, so the count is exact). Serial runs stop at a deterministic
+// transition prefix; with several workers which expansions land inside the
+// budget varies with scheduling, like every non-depth cutoff.
+func (b *budget) admitTransition() bool {
+	if b.crit.MaxTransitions <= 0 {
+		return !b.halted.Load()
+	}
+	if b.halted.Load() {
+		return false
+	}
+	if n := b.transitions.Add(1); n > int64(b.crit.MaxTransitions) {
+		b.transitions.Add(-1)
+		b.halted.Store(true)
+		return false
+	}
+	return true
+}
+
+// refundTransition returns one admitted unit (the event turned out to be
+// inapplicable — no handler ran).
+func (b *budget) refundTransition() {
+	if b.crit.MaxTransitions > 0 {
+		b.transitions.Add(-1)
+	}
 }
 
 // halt marks the budget exhausted (e.g. the violation quota filled).

@@ -12,10 +12,11 @@ import (
 )
 
 // TestWorkerCountDeterminismMatrix extends the checker's same-seed
-// determinism guarantee across every registered scenario: a depth-bounded
-// search (no state or violation cutoff, so the reachable set is
-// interleaving-independent) must admit the same states, take the same
-// transitions and report the same violations at any worker count. The
+// determinism guarantee across every registered scenario and both
+// partial-order-reduction settings: a depth-bounded search (no state or
+// violation cutoff, so the reachable set is interleaving-independent) must
+// admit the same states, take the same transitions and report the same
+// violations at any worker count, with reduction on and off. The
 // chord/paxos-only versions of this check live in internal/mc; this matrix
 // covers randtree and bulletprime too, and every future registration
 // automatically.
@@ -36,7 +37,7 @@ func TestWorkerCountDeterminismMatrix(t *testing.T) {
 			if !ok {
 				d = 4 // future scenarios get a conservative bound
 			}
-			run := func(workers int) *mc.Result {
+			run := func(workers int, reduce bool) *mc.Result {
 				g, cfg, err := scenario.InitialState(name, scenario.Options{Nodes: 3})
 				if err != nil {
 					t.Fatal(err)
@@ -45,29 +46,32 @@ func TestWorkerCountDeterminismMatrix(t *testing.T) {
 				cfg.MaxDepth = d
 				cfg.Workers = workers
 				cfg.Seed = 42
+				cfg.Reduce = reduce
 				return mc.NewSearch(cfg).Run(g)
 			}
-			serial := run(1)
-			for _, workers := range []int{2, 4} {
-				par := run(workers)
-				if par.StatesExplored != serial.StatesExplored || par.Transitions != serial.Transitions {
-					t.Fatalf("workers=%d: states/transitions %d/%d, serial %d/%d",
-						workers, par.StatesExplored, par.Transitions,
-						serial.StatesExplored, serial.Transitions)
-				}
-				if len(par.Violations) != len(serial.Violations) {
-					t.Fatalf("workers=%d: %d violations, serial %d",
-						workers, len(par.Violations), len(serial.Violations))
-				}
-				for i := range par.Violations {
-					a, b := par.Violations[i], serial.Violations[i]
-					if a.StateHash != b.StateHash || a.Depth != b.Depth {
-						t.Fatalf("workers=%d: violation %d (hash %#x depth %d), serial (hash %#x depth %d)",
-							workers, i, a.StateHash, a.Depth, b.StateHash, b.Depth)
+			for _, reduce := range []bool{false, true} {
+				serial := run(1, reduce)
+				for _, workers := range []int{2, 4} {
+					par := run(workers, reduce)
+					if par.StatesExplored != serial.StatesExplored || par.Transitions != serial.Transitions {
+						t.Fatalf("reduce=%v workers=%d: states/transitions %d/%d, serial %d/%d",
+							reduce, workers, par.StatesExplored, par.Transitions,
+							serial.StatesExplored, serial.Transitions)
 					}
-					if !reflect.DeepEqual(a.Properties, b.Properties) {
-						t.Fatalf("workers=%d: violation %d properties %v, serial %v",
-							workers, i, a.Properties, b.Properties)
+					if len(par.Violations) != len(serial.Violations) {
+						t.Fatalf("reduce=%v workers=%d: %d violations, serial %d",
+							reduce, workers, len(par.Violations), len(serial.Violations))
+					}
+					for i := range par.Violations {
+						a, b := par.Violations[i], serial.Violations[i]
+						if a.StateHash != b.StateHash || a.Depth != b.Depth {
+							t.Fatalf("reduce=%v workers=%d: violation %d (hash %#x depth %d), serial (hash %#x depth %d)",
+								reduce, workers, i, a.StateHash, a.Depth, b.StateHash, b.Depth)
+						}
+						if !reflect.DeepEqual(a.Properties, b.Properties) {
+							t.Fatalf("reduce=%v workers=%d: violation %d properties %v, serial %v",
+								reduce, workers, i, a.Properties, b.Properties)
+						}
 					}
 				}
 			}

@@ -123,6 +123,17 @@ type Scenario struct {
 	// Faults is the default fault model for the checker.
 	Faults Faults
 
+	// Reduction enables sleep-set partial-order reduction
+	// (mc.Config.Reduce) for this scenario's searches — offline checking
+	// and live consequence-prediction rounds alike. Sound whenever the
+	// scenario's properties are over states, not event orderings: the
+	// reduced search claims the identical state set, local-state set and
+	// violation set, just through fewer handler executions (the
+	// differential oracle in reduction_oracle_test.go pins this). Leave
+	// it off for scenarios whose checkers instrument message-arrival
+	// order itself.
+	Reduction bool
+
 	// CheckerPolicy declares the per-round exploration budget policy for
 	// live controllers: the kind ("fixed", "scaled", "adaptive") plus
 	// the base budget and tuning. The zero value means a FixedPolicy
@@ -195,6 +206,7 @@ func (sc *Scenario) SearchConfig(o Options) (mc.Config, error) {
 		ExploreResets:     sc.Faults.ExploreResets,
 		ExploreConnBreaks: sc.Faults.ExploreConnBreaks,
 		MaxResetsPerPath:  sc.Faults.MaxResetsPerPath,
+		Reduce:            sc.Reduction,
 	}, nil
 }
 
@@ -263,6 +275,13 @@ func (sc *Scenario) ControllerConfig(o DeployOptions) (controller.Config, error)
 	cfg.ExploreResets = faults.ExploreResets
 	cfg.ExploreConnBreaks = faults.ExploreConnBreaks
 	cfg.MaxResetsPerPath = faults.MaxResetsPerPath
+	cfg.Reduce = sc.Reduction
+	switch o.Reduce {
+	case On:
+		cfg.Reduce = true
+	case Off:
+		cfg.Reduce = false
+	}
 	spec, err := sc.resolvePolicySpec(o)
 	if err != nil {
 		return controller.Config{}, fmt.Errorf("scenario %s: %w", sc.Name, err)

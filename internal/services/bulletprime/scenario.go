@@ -38,6 +38,7 @@ func init() {
 		Check:      scenario.Tuning{Nodes: 4, Blocks: 8, BlockSize: 16 << 10},
 		Live:       scenario.Tuning{Nodes: 8, Blocks: 32, BlockSize: 64 << 10},
 		Faults:     scenario.Faults{ExploreResets: true},
+		Reduction:  true,
 		MCStates:   6000,
 	})
 }

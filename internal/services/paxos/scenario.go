@@ -33,7 +33,8 @@ func init() {
 		Live:  scenario.Tuning{Nodes: 3},
 		// Bug 2 is a lost-promise bug: it only materialises when the
 		// checker explores node resets.
-		Faults:   scenario.Faults{ExploreResets: true},
-		MCStates: 15000,
+		Faults:    scenario.Faults{ExploreResets: true},
+		Reduction: true,
+		MCStates:  15000,
 	})
 }

@@ -38,6 +38,23 @@ func FNV64aString(h uint64, s string) uint64 {
 	return h
 }
 
+// Mix64 finalizes a 64-bit hash with murmur3's fmix64 avalanche. FNV-64a
+// alone is too weak for hash values that are *summed* into a commutative
+// fingerprint: two encodings differing in one late byte produce FNV values
+// whose difference is close to δ·prime^k, so structured component sets can
+// cancel additively (e.g. the RST items n1→2,…,n1→5 satisfy
+// c2+c5 == c3+c4 exactly, aliasing distinct global states). The fmix64
+// xor-shift/multiply rounds give every input bit full avalanche, making
+// such cancellations as unlikely as random 64-bit collisions.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // Encoder writes values in a stable, deterministic binary form. It backs
 // three mechanisms that all need byte-identical encodings for equal states:
 // state hashing in the model checker, checkpoint contents in the snapshot
@@ -63,21 +80,23 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards all encoded data, retaining the buffer.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
-// Hash returns the FNV-64a hash of the encoded bytes. The model checker
-// stores only these hashes (the paper notes the checker caches hashes, not
-// states, to bound memory). Computed with the streamed FNV helpers, so no
-// hash object is allocated.
+// Hash returns the finalized (Mix64) FNV-64a hash of the encoded bytes.
+// The model checker stores only these hashes (the paper notes the checker
+// caches hashes, not states, to bound memory). Computed with the streamed
+// FNV helpers, so no hash object is allocated.
 func (e *Encoder) Hash() uint64 {
-	return FNV64aBytes(FNV64aInit, e.buf)
+	return Mix64(FNV64aBytes(FNV64aInit, e.buf))
 }
 
-// DomainHash returns the FNV-64a hash of the domain byte followed by the
-// encoded bytes. The model checker's commutative state fingerprint hashes
-// each state component (node, message, stale pair, resets counter) under a
-// distinct domain tag so equal byte strings in different roles cannot
-// cancel or collide across component types.
+// DomainHash returns the finalized (Mix64) FNV-64a hash of the domain byte
+// followed by the encoded bytes. The model checker's commutative state
+// fingerprint *sums* one such hash per state component (node, message,
+// stale pair, resets counter): the domain tag keeps equal byte strings in
+// different roles from cancelling across component types, and the Mix64
+// avalanche keeps structurally similar components of the same type from
+// cancelling within it.
 func (e *Encoder) DomainHash(domain byte) uint64 {
-	return FNV64aBytes(FNV64aByte(FNV64aInit, domain), e.buf)
+	return Mix64(FNV64aBytes(FNV64aByte(FNV64aInit, domain), e.buf))
 }
 
 // Uint64 appends v big-endian.

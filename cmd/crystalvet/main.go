@@ -1,0 +1,80 @@
+// Command crystalvet is the repo's static-analysis multichecker: it runs the
+// custom determinism, hot-path and fingerprint-maintenance passes of
+// internal/analysis/passes over the module and exits non-zero on any
+// unsuppressed finding. CI runs it as a blocking lint job; run it locally
+// with `make lint` or `go run ./cmd/crystalvet ./...`.
+//
+// Findings are suppressed in source with
+//
+//	//crystal:allow(<pass>) <reason>
+//
+// on (or immediately above) the offending line, or in the function's doc
+// comment to cover the whole function. The reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crystalball/internal/analysis"
+	"crystalball/internal/analysis/passes"
+)
+
+func main() {
+	listPasses := flag.Bool("list", false, "list the registered passes and exit")
+	sel := flag.String("passes", "", "comma-separated pass selection (default: all)")
+	verbose := flag.Bool("v", false, "also report suppressed findings (informational)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: crystalvet [flags] [package patterns]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the crystalball static-analysis suite (default patterns: ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listPasses {
+		for _, a := range passes.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected, ok := passes.ByName(*sel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "crystalvet: unknown pass in -passes=%q (see -list)\n", *sel)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crystalvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		res, err := analysis.RunPackage(pkg, selected, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crystalvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.AnalyzerName)
+			findings++
+		}
+		suppressed += len(res.Suppressed)
+		if *verbose {
+			for _, d := range res.Suppressed {
+				fmt.Printf("%s: suppressed: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.AnalyzerName)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "crystalvet: %d finding(s), %d suppressed\n", findings, suppressed)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "crystalvet: clean (%d finding(s) suppressed in-source)\n", suppressed)
+}

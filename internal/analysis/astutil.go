@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PkgFuncCall reports whether call invokes <pkgPath>.<name> for a
+// package-level function accessed through an imported package name, and
+// returns the import path and function name.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return PkgSelector(info, sel)
+}
+
+// PkgSelector resolves a selector expression of the form pkgname.Name where
+// pkgname is an imported package, returning the package's import path and
+// the selected name.
+func PkgSelector(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsBuiltinCall reports whether call invokes the named builtin (append,
+// delete, make, ...).
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// MentionsObject reports whether expr contains an identifier resolving to
+// obj.
+func MentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// PosRange is a half-open source interval.
+type PosRange struct{ Pos, End token.Pos }
+
+// Contains reports whether p falls inside the range.
+func (r PosRange) Contains(p token.Pos) bool { return p >= r.Pos && p < r.End }
+
+// LoopBodies collects the body ranges of every for/range statement under
+// root; a node within one of them executes per iteration.
+func LoopBodies(root ast.Node) []PosRange {
+	var out []PosRange
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, PosRange{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			out = append(out, PosRange{s.Body.Pos(), s.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// InAny reports whether pos falls in any of the ranges.
+func InAny(ranges []PosRange, pos token.Pos) bool {
+	for _, r := range ranges {
+		if r.Contains(pos) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadTypeChecks loads a real module package through the export-data
+// importer and spot-checks that type information is populated — the
+// foundation every pass builds on.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/mc")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "crystalball/internal/mc" {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+	// Every range-over-map in the package must have resolvable type info.
+	maps := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pkg.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				t.Errorf("%s: range expression has no type", pkg.Fset.Position(rs.Pos()))
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); isMap {
+				maps++
+			}
+			return true
+		})
+	}
+	if maps == 0 {
+		t.Fatalf("expected at least one range-over-map in internal/mc (clone, FullHash, ...)")
+	}
+}

@@ -1,0 +1,54 @@
+// Package globalrand flags top-level math/rand functions — rand.Intn,
+// rand.Shuffle, global rand.Seed and the rest of the shared-source API.
+// Every draw in this repo must flow from a seeded per-worker *rand.Rand
+// (sm.NewRand, mc's scratch rng): the global source is seeded once per
+// process, shared across goroutines, and invisible to same-seed replay, so
+// a single stray call diverges distributed search shards silently.
+package globalrand
+
+import (
+	"go/ast"
+
+	"crystalball/internal/analysis"
+)
+
+// globalFuncs are the math/rand (and math/rand/v2) package-level functions
+// that draw from or reseed the shared global source. Constructors (New,
+// NewSource, NewPCG, NewChaCha8) build private sources and are fine.
+var globalFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// Analyzer flags draws from the global math/rand source anywhere in the
+// module (tests excluded by the loader).
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "flag top-level math/rand functions; all randomness must flow from seeded per-worker *rand.Rand sources",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := analysis.PkgSelector(info, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") || !globalFuncs[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global source; use a seeded per-worker *rand.Rand (sm.NewRand) or annotate //crystal:allow(globalrand) with a reason", name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"crystalball/internal/analysis/analysistest"
+	"crystalball/internal/analysis/passes/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	res := analysistest.Run(t, globalrand.Analyzer, "testdata/src/a")
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed %d findings, want 1 (the reasoned allow directive)", got)
+	}
+}

@@ -1,0 +1,28 @@
+// Package a exercises the globalrand pass: draws from the process-global
+// math/rand source are flagged; private seeded sources are the sanctioned
+// alternative.
+package a
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand.Shuffle draws from the process-global source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// seeded constructs a private source: the constructors are exempt, and
+// method calls on the private *rand.Rand are fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func suppressed() float64 {
+	//crystal:allow(globalrand) one-off jitter in operator tooling, never replayed
+	return rand.Float64()
+}

@@ -1,0 +1,15 @@
+package hashmaint_test
+
+import (
+	"testing"
+
+	"crystalball/internal/analysis/analysistest"
+	"crystalball/internal/analysis/passes/hashmaint"
+)
+
+func TestHashMaint(t *testing.T) {
+	res := analysistest.Run(t, hashmaint.Analyzer, "testdata/src/a")
+	if got := len(res.Suppressed); got != 2 {
+		t.Errorf("suppressed %d findings, want 2 (scrub's two component writes)", got)
+	}
+}

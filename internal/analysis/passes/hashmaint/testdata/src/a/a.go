@@ -1,0 +1,70 @@
+// Package a models the checker's fingerprinted global state for the
+// hashmaint pass: component writes must pair with hsum/encSize maintenance,
+// directly or through a helper.
+package a
+
+type NodeState struct{ V int }
+
+// GState mirrors mc.GState's fingerprint structure.
+type GState struct {
+	nodes   map[int]*NodeState
+	msgs    []int
+	stale   map[int]bool
+	resets  int
+	hsum    uint64
+	encSize int
+}
+
+// setNode maintains the fingerprint directly.
+func (g *GState) setNode(id int, ns *NodeState, h uint64) {
+	g.nodes[id] = ns
+	g.hsum += h
+}
+
+// addMsg maintains hsum and encSize.
+func (g *GState) addMsg(m int) {
+	g.msgs = append(g.msgs, m)
+	g.hsum += uint64(m)
+	g.encSize += 8
+}
+
+// viaHelper maintains through addMsg: the call-graph fixpoint covers the
+// resets bump too.
+func (g *GState) viaHelper(m int) {
+	g.addMsg(m)
+	g.resets++
+}
+
+// forget mutates a component with no fingerprint maintenance anywhere.
+func (g *GState) forget(m int) {
+	g.msgs = append(g.msgs, m) // want `forget writes GState.msgs without a paired incremental hsum update`
+}
+
+// clobber rewrites a node element unmaintained.
+func (g *GState) clobber(id int) {
+	g.nodes[id] = &NodeState{} // want `clobber writes GState.nodes`
+}
+
+// drop deletes a stale entry unmaintained.
+func (g *GState) drop(p int) {
+	delete(g.stale, p) // want `drop writes GState.stale`
+}
+
+// literal builds a GState with a component but no fingerprint key.
+func literal(ns map[int]*NodeState) *GState {
+	return &GState{nodes: ns} // want `literal writes GState.nodes`
+}
+
+// literalWithGuard carries the fingerprint explicitly.
+func literalWithGuard(ns map[int]*NodeState, h uint64) *GState {
+	return &GState{nodes: ns, hsum: h}
+}
+
+// scrub resets components wholesale; the suppression documents why the zero
+// fingerprint is already correct.
+//
+//crystal:allow(hashmaint) wholesale reset: the zero value is the fingerprint of the empty state
+func (g *GState) scrub() {
+	g.msgs = nil
+	g.resets = 0
+}

@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"crystalball/internal/analysis/analysistest"
+	"crystalball/internal/analysis/passes/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	res := analysistest.Run(t, hotpathalloc.Analyzer, "testdata/src/a")
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed %d findings, want 1 (warm's func-doc allow directive)", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Package a exercises the hotpathalloc pass. Only functions annotated
+// //crystal:hotpath are checked; cold() holds the same constructs
+// unannotated as the negative case.
+package a
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+//crystal:hotpath
+func hot(xs []int) string {
+	return fmt.Sprintf("%d", len(xs)) // want `fmt.Sprintf allocates on a hot path`
+}
+
+//crystal:hotpath
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want `append to un-preallocated slice out in a loop`
+	}
+	return out
+}
+
+//crystal:hotpath
+func prealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//crystal:hotpath
+func reuse(buf, xs []int) []int {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//crystal:hotpath
+func closures(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int { return total + x } // want `closure in a loop captures outer variables`
+		total = f()
+	}
+	return total
+}
+
+//crystal:hotpath
+func hashes(b []byte) uint64 {
+	h := fnv.New64a() // want `fnv.New64a constructs a hash.Hash on a hot path`
+	h.Write(b)
+	return h.Sum64()
+}
+
+func sink(args ...any) int { return len(args) }
+
+//crystal:hotpath
+func boxing(x int, p *int) int {
+	n := sink(x) // want `argument boxes a non-pointer value into \.\.\.any`
+	n += sink(p)
+	return n
+}
+
+//crystal:hotpath
+func convert(x int) any {
+	return any(x) // want `conversion boxes a non-pointer value into an interface`
+}
+
+// cold is unannotated: the same constructs draw no findings.
+func cold(xs []int) string {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return fmt.Sprintf("%d", len(out))
+}
+
+// warm allocates knowingly; the func-doc directive covers the whole body.
+//
+//crystal:allow(hotpathalloc) cold branch: runs once per search, not per state
+//crystal:hotpath
+func warm(n int) string {
+	return fmt.Sprintf("run-%d", n)
+}

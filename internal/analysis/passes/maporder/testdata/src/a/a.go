@@ -1,0 +1,104 @@
+// Package a exercises the maporder pass: flagged map ranges, the
+// commutative-fold and collect-then-sort exemptions, and the suppression
+// directive.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// leak appends map keys in iteration order to an outer slice and never
+// sorts: the randomized order escapes — the PR 2 bug class.
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map map\[string\]int has non-deterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// dump streams entries to an order-observing sink.
+func dump(m map[string]int) {
+	for k, v := range m { // want `non-deterministic order`
+		fmt.Println(k, v)
+	}
+}
+
+// nested hides the escape one block deeper.
+func nested(m map[string]int, limit int) []string {
+	var keys []string
+	for k, v := range m { // want `non-deterministic order`
+		if v > limit {
+			keys = append(keys, k)
+			fmt.Println(k)
+		}
+	}
+	return keys
+}
+
+// sum is a commutative fold: accumulation order is invisible.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// count only increments.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes keyed by the range variable: distinct keys commute.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// prune deletes keyed by the range variable.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// sortedKeys is the collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedSubset collects behind a call-free guard before sorting.
+func sortedSubset(m map[string]int, limit int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > limit {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// suppressed documents an intentionally order-dependent loop.
+func suppressed(m map[string]int) {
+	//crystal:allow(maporder) the sink is order-insensitive in this model
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

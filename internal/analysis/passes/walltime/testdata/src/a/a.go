@@ -1,0 +1,37 @@
+// Package a exercises the walltime pass: host-clock calls are flagged,
+// value references (the injected-clock default) and injected-clock reads are
+// not.
+package a
+
+import "time"
+
+type clock struct {
+	now func() time.Time
+}
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep in simulation-deterministic code`
+	return time.Now()            // want `wall-clock time.Now`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time.Since`
+}
+
+func wait(d time.Duration) {
+	<-time.After(d) // want `wall-clock time.After`
+}
+
+// inject references time.Now as a value — the sanctioned way to default an
+// injected clock — then reads through the injection: both clean.
+func inject(c *clock) time.Time {
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c.now()
+}
+
+func suppressed() time.Time {
+	//crystal:allow(walltime) telemetry timestamp, never enters replayed state
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"crystalball/internal/analysis/analysistest"
+	"crystalball/internal/analysis/passes/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	res := analysistest.Run(t, walltime.Analyzer, "testdata/src/a")
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed %d findings, want 1 (the reasoned allow directive)", got)
+	}
+}

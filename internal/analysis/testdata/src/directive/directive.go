@@ -1,0 +1,30 @@
+// Package directive exercises crystal:allow validation: unknown pass names
+// and missing reasons are findings themselves, and neither suppresses.
+package directive
+
+import "fmt"
+
+// bad1's directive names a pass that does not exist, so the loop finding
+// stands alongside the directive finding.
+func bad1(m map[string]int) {
+	//crystal:allow(nosuchpass) misspelled pass name
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// bad2's directive has no reason, so it neither suppresses nor validates.
+func bad2(m map[string]int) {
+	//crystal:allow(maporder)
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// good's reasoned directive suppresses the loop finding.
+func good(m map[string]int) {
+	//crystal:allow(maporder) output order is immaterial here
+	for k := range m {
+		fmt.Println(k)
+	}
+}

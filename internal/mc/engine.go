@@ -4,7 +4,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"crystalball/internal/props"
 	"crystalball/internal/sm"
@@ -231,7 +230,7 @@ func newEngine(s *Search, workers int, prune bool) *engine {
 		reduce:  s.cfg.Reduce,
 		legacy:  s.cfg.LegacyFrontier,
 		red:     s.cfg.Reducer,
-		bdg:     newBudget(s.cfg.Stop(), time.Now()),
+		bdg:     newBudget(s.cfg.Stop(), s.cfg.Now),
 		visited: newShardedSet(),
 		local:   newShardedSet(),
 		locals:  newShardedSet(),
@@ -271,7 +270,7 @@ func (e *engine) run(start *GState) *Result {
 		Steals:              int(e.ctr.steals.Load()),
 		StealFails:          int(e.ctr.stealFails.Load()),
 		DistinctLocalStates: e.locals.Len(),
-		Elapsed:             time.Since(e.bdg.began),
+		Elapsed:             e.bdg.elapsed(),
 	}
 	res.TransitionsPruned = res.SleepHits + res.LocalPrunes
 	if e.s.cfg.RecordLocalStates {
@@ -444,8 +443,14 @@ func (e *engine) stealWork(w int) (int32, bool) {
 // position, sibling) order — exactly the serial engine's order — so the
 // surviving next level, each state's representative parent path and each
 // state's sleep set are worker-count independent.
+//
+//crystal:hotpath
 func (e *engine) claimChildren(outs [][]*searchNode) []*searchNode {
-	var next []*searchNode
+	total := 0
+	for _, children := range outs {
+		total += len(children)
+	}
+	next := make([]*searchNode, 0, total)
 	if e.reduce {
 		clear(e.arrivals)
 	}
@@ -490,6 +495,8 @@ func (e *engine) growFrontier(delta int64) {
 // refilled per state instead of reallocated. With reduction on, network
 // transitions slept by node's sleep set are skipped and each child carries
 // its inherited-and-extended sleep set (reduce.go).
+//
+//crystal:hotpath
 func (e *engine) expandNode(node *searchNode, claims *[]uint64, res *workerRes) []*searchNode {
 	e.ctr.frontierBytes.Add(-int64(node.state.EncodedSize()))
 	atomicMax(&e.ctr.maxDepth, int64(node.depth))
@@ -501,7 +508,7 @@ func (e *engine) expandNode(node *searchNode, claims *[]uint64, res *workerRes) 
 	pathViolated := node.violated
 	node.state.FillView(res.view)
 	if violated := e.s.cfg.Props.Check(res.view); len(violated) > 0 {
-		var onset []string
+		onset := make([]string, 0, len(violated))
 		for _, p := range violated {
 			if !pathViolated[p] {
 				onset = append(onset, p)

@@ -149,6 +149,8 @@ type ScaledPolicy struct {
 }
 
 // Plan implements Policy.
+//
+//crystal:hotpath
 func (p *ScaledPolicy) Plan(in RoundInfo) Budget {
 	b := p.Base
 	if b.States <= 0 || in.SnapshotBytes <= 0 {
@@ -229,6 +231,8 @@ func (p *AdaptivePolicy) targetFraction() float64 {
 func (p *AdaptivePolicy) Rate() float64 { return p.rate }
 
 // Plan implements Policy.
+//
+//crystal:hotpath
 func (p *AdaptivePolicy) Plan(in RoundInfo) Budget {
 	b := p.Base
 	if !p.have || in.Interval <= 0 || p.rate <= 0 {
@@ -272,6 +276,8 @@ func (p *AdaptivePolicy) Plan(in RoundInfo) Budget {
 }
 
 // Observe implements Policy.
+//
+//crystal:hotpath
 func (p *AdaptivePolicy) Observe(r RoundReport) {
 	if r.States <= 0 || r.Elapsed <= 0 {
 		return

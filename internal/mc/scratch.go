@@ -44,6 +44,8 @@ func putScratch(sc *scratch) {
 // The FNV streams the event through fnvEvent without materialising the
 // Describe string, so the hot path allocates nothing;
 // TestFNVEventMatchesDescribe pins the equivalence for every event kind.
+//
+//crystal:hotpath
 func edgeSeed(seed int64, lhash uint64, ev sm.Event) int64 {
 	h := sm.FNV64aInit
 	for i := 0; i < 8; i++ {
@@ -55,6 +57,8 @@ func edgeSeed(seed int64, lhash uint64, ev sm.Event) int64 {
 // fnvEvent folds ev.Describe()'s exact byte sequence into h without
 // building the string. Each case mirrors the fmt.Sprintf format in
 // sm/events.go; fnvNode mirrors NodeID.String ("n<k>", "n?" for NoNode).
+//
+//crystal:hotpath
 func fnvEvent(h uint64, ev sm.Event) uint64 {
 	switch e := ev.(type) {
 	case sm.MsgEvent:
@@ -90,6 +94,8 @@ func fnvEvent(h uint64, ev sm.Event) uint64 {
 }
 
 // fnvNode folds NodeID.String()'s bytes into h without allocating.
+//
+//crystal:hotpath
 func fnvNode(h uint64, n sm.NodeID) uint64 {
 	if n == sm.NoNode {
 		return sm.FNV64aString(h, "n?")

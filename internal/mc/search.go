@@ -115,6 +115,12 @@ type Config struct {
 	// Deprecated: benchmark escape hatch only — BenchmarkParallelSearch
 	// compares the work-stealing deques against it.
 	LegacyFrontier bool
+	// Now is the clock the wall budget (Budget.Wall) and Result.Elapsed
+	// read (nil = time.Now). Injecting a fake clock makes wall-budget
+	// expiry unit-testable; it is the only wall-clock access in the
+	// checker, keeping everything else a deterministic function of the
+	// configuration.
+	Now func() time.Time
 }
 
 // mergeLegacy resolves the effective budget: explicit Budget fields win,
@@ -151,6 +157,9 @@ func (c *Config) defaults() {
 	}
 	if c.Reducer == nil {
 		c.Reducer = DeliveryIndependence
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	b := c.mergeLegacy()
 	if b.Workers <= 0 {

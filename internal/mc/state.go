@@ -57,6 +57,7 @@ type NodeState struct {
 // encLen is the length of the node's canonical encoding (both segments).
 func (ns *NodeState) encLen() int { return len(ns.svcEnc) + len(ns.tmEnc) }
 
+//crystal:hotpath
 func (ns *NodeState) clone() *NodeState {
 	timers := make(map[sm.TimerID]bool, len(ns.Timers))
 	for t, ok := range ns.Timers {
@@ -79,6 +80,8 @@ func (ns *NodeState) clone() *NodeState {
 // slice instead of copying (NodeStates are immutable, so sharing is always
 // safe). Both segments are encoded into sc's reusable buffer, so finalize
 // allocates only for segments that actually changed.
+//
+//crystal:hotpath
 func (ns *NodeState) finalize(id sm.NodeID, parent *NodeState, sc *scratch) {
 	e := &sc.enc
 	e.Reset()
@@ -176,6 +179,8 @@ type pair struct{ a, b sm.NodeID }
 
 // staleComp returns the fingerprint component hash of one stale pair,
 // encoding through the scratch encoder.
+//
+//crystal:hotpath
 func staleComp(p pair, sc *scratch) uint64 {
 	e := &sc.enc
 	e.Reset()
@@ -185,6 +190,8 @@ func staleComp(p pair, sc *scratch) uint64 {
 }
 
 // resetsComp returns the fingerprint component hash of the resets counter.
+//
+//crystal:hotpath
 func resetsComp(n int, sc *scratch) uint64 {
 	e := &sc.enc
 	e.Reset()
@@ -252,6 +259,8 @@ func (g *GState) AddNode(id sm.NodeID, svc sm.Service, timers map[sm.TimerID]boo
 // setNode installs ns as id's local state, finalizing its encoding/hashes
 // and updating the fingerprint, footprint and sorted id list (removing any
 // previous state's contribution).
+//
+//crystal:hotpath
 func (g *GState) setNode(id sm.NodeID, ns *NodeState, sc *scratch) {
 	old := g.nodes[id]
 	if old != nil {
@@ -277,6 +286,8 @@ func (g *GState) setNode(id sm.NodeID, ns *NodeState, sc *scratch) {
 
 // swapNode replaces id's already-finalized local state with the finalized
 // nw, adjusting fingerprint and footprint. The node-id list is unchanged.
+//
+//crystal:hotpath
 func (g *GState) swapNode(id sm.NodeID, old, nw *NodeState) {
 	g.hsum += nw.chash - old.chash
 	g.encSize += nw.encLen() - old.encLen()
@@ -302,6 +313,8 @@ func (g *GState) AddMessage(from, to sm.NodeID, msg sm.Message) {
 // sets and must not collide: without the position term, hash-equal would
 // not imply successor-equal, and claiming the "wrong" representative could
 // silently drop reachable states.
+//
+//crystal:hotpath
 func (g *GState) addMsg(m InFlight, sc *scratch) {
 	m.pos = 0
 	for i := range g.msgs {
@@ -321,6 +334,8 @@ func (g *GState) addMsg(m InFlight, sc *scratch) {
 
 // msgComp returns the fingerprint component hash of one in-flight item:
 // its encoding followed by its queue position, domain-tagged.
+//
+//crystal:hotpath
 func msgComp(m *InFlight, sc *scratch) uint64 {
 	e := &sc.enc
 	e.Reset()
@@ -335,6 +350,8 @@ func msgComp(m *InFlight, sc *scratch) uint64 {
 // it. Later items in the removed item's queue shift one position toward
 // the head; their component hashes are swapped accordingly (queues longer
 // than one item are rare, so the rehash loop almost never fires).
+//
+//crystal:hotpath
 func (g *GState) removeMsgAt(i int, sc *scratch) {
 	removed := g.msgs[i]
 	g.hsum -= removed.chash
@@ -353,6 +370,8 @@ func (g *GState) removeMsgAt(i int, sc *scratch) {
 }
 
 // setStale records a stale pair, updating the totals if it was absent.
+//
+//crystal:hotpath
 func (g *GState) setStale(p pair, sc *scratch) {
 	if !g.stale[p] {
 		if g.stale == nil {
@@ -365,6 +384,8 @@ func (g *GState) setStale(p pair, sc *scratch) {
 }
 
 // clearStale removes a stale pair, updating the totals if present.
+//
+//crystal:hotpath
 func (g *GState) clearStale(p pair, sc *scratch) {
 	if g.stale[p] {
 		delete(g.stale, p)
@@ -374,6 +395,8 @@ func (g *GState) clearStale(p pair, sc *scratch) {
 }
 
 // bumpResets increments the reset counter, swapping its component hash.
+//
+//crystal:hotpath
 func (g *GState) bumpResets(sc *scratch) {
 	g.hsum -= resetsComp(g.resets, sc)
 	g.resets++
@@ -403,6 +426,8 @@ func (g *GState) View() *props.View {
 // FillView resets v and loads this state's nodes into it, reusing v's
 // storage. The view is filled in ascending node order, so View.IDs needs no
 // re-sort.
+//
+//crystal:hotpath
 func (g *GState) FillView(v *props.View) {
 	v.Reset()
 	for _, id := range g.ids {
@@ -429,6 +454,8 @@ func (g *GState) FillView(v *props.View) {
 // gates ResetEvent on g.resets), so conflating them in the visited set
 // could prune reachable fault paths. This deliberately refines the
 // visited-set equivalence relation.
+//
+//crystal:hotpath
 func (g *GState) Hash() uint64 {
 	if g.hsum == 0 {
 		return 1 // keep 0 free as the "no state" sentinel used by callers
@@ -486,6 +513,8 @@ func (g *GState) FullHash() uint64 {
 
 // encodeTimers writes the canonical timer-set encoding; used only by the
 // from-scratch FullHash oracle (finalize encodes the segment inline).
+//
+//crystal:hotpath
 func encodeTimers(e *sm.Encoder, timers map[sm.TimerID]bool) {
 	names := make([]string, 0, len(timers))
 	for t, ok := range timers {
@@ -525,6 +554,8 @@ func (g *GState) fullEncodedSize() int {
 // messages and the sorted id list; callers then replace what the event
 // changes, keeping the inherited fingerprint and footprint in sync through
 // the mutation helpers.
+//
+//crystal:hotpath
 func (g *GState) shallowClone() *GState {
 	nodes := make(map[sm.NodeID]*NodeState, len(g.nodes))
 	for id, ns := range g.nodes {

@@ -37,6 +37,8 @@ func (c *mcContext) Rand() *rand.Rand { return c.rng }
 // stream is identical to a freshly constructed sm.NewRand with the same
 // derived seed (Rand.Seed resets all internal state), but reuses the
 // scratch's Rand so the hot path allocates nothing.
+//
+//crystal:hotpath
 func edgeRNG(seed int64, ns *NodeState, ev sm.Event, sc *scratch) *rand.Rand {
 	sc.rnd.Seed(edgeSeed(seed, ns.localHash(), ev))
 	return sc.rnd
@@ -50,6 +52,8 @@ func edgeRNG(seed int64, ns *NodeState, ev sm.Event, sc *scratch) *rand.Rand {
 // runHandler each adjust the commutative hash sum in O(1), so a successor's
 // Hash is ready in O(changed components) when apply returns. All transient
 // workspace (encoders, handler context, random stream) comes from sc.
+//
+//crystal:hotpath
 func (s *Search) apply(g *GState, ev sm.Event, sc *scratch) *GState {
 	switch e := ev.(type) {
 	case sm.MsgEvent:
@@ -70,6 +74,8 @@ func (s *Search) apply(g *GState, ev sm.Event, sc *scratch) *GState {
 }
 
 // findMsg locates the first in-flight item matching the event.
+//
+//crystal:hotpath
 func findMsg(g *GState, from, to sm.NodeID, msgType string, rst bool) int {
 	for i := range g.msgs {
 		m := &g.msgs[i]
@@ -93,6 +99,8 @@ func findMsg(g *GState, from, to sm.NodeID, msgType string, rst bool) int {
 // messages to nodes outside the snapshot go to the dummy node (dropped,
 // counted), and messages over a stale socket become an error notification
 // back to the sender, mirroring the live transport.
+//
+//crystal:hotpath
 func (s *Search) dispatchSends(next *GState, ctx *mcContext, sc *scratch) {
 	for _, sd := range ctx.sends {
 		if _, known := next.nodes[sd.To]; !known {
@@ -111,6 +119,7 @@ func (s *Search) dispatchSends(next *GState, ctx *mcContext, sc *scratch) {
 	}
 }
 
+//crystal:hotpath
 func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, sc *scratch, run func(ctx *mcContext)) *GState {
 	ns := g.nodes[node]
 	if ns == nil {
@@ -130,6 +139,7 @@ func (s *Search) runHandler(g *GState, node sm.NodeID, ev sm.Event, sc *scratch,
 	return next
 }
 
+//crystal:hotpath
 func (s *Search) applyMessage(g *GState, e sm.MsgEvent, sc *scratch) *GState {
 	i := findMsg(g, e.From, e.To, e.Msg.MsgType(), false)
 	if i < 0 {
@@ -148,6 +158,7 @@ func (s *Search) applyMessage(g *GState, e sm.MsgEvent, sc *scratch) *GState {
 	return next
 }
 
+//crystal:hotpath
 func (s *Search) applyTimer(g *GState, e sm.TimerEvent, sc *scratch) *GState {
 	ns := g.nodes[e.At]
 	if ns == nil || !ns.Timers[e.Timer] {
@@ -161,12 +172,14 @@ func (s *Search) applyTimer(g *GState, e sm.TimerEvent, sc *scratch) *GState {
 	})
 }
 
+//crystal:hotpath
 func (s *Search) applyApp(g *GState, e sm.AppEvent, sc *scratch) *GState {
 	return s.runHandler(g, e.At, e, sc, func(ctx *mcContext) {
 		ctx.ns.Svc.HandleApp(ctx, e.Call)
 	})
 }
 
+//crystal:hotpath
 func (s *Search) applyError(g *GState, e sm.ErrorEvent, sc *scratch) *GState {
 	i := findMsg(g, e.Peer, e.At, "", true)
 	if i < 0 && !s.cfg.ExploreConnBreaks {
@@ -184,6 +197,7 @@ func (s *Search) applyError(g *GState, e sm.ErrorEvent, sc *scratch) *GState {
 	return next
 }
 
+//crystal:hotpath
 func (s *Search) applyDrop(g *GState, e sm.DropEvent, sc *scratch) *GState {
 	i := findMsg(g, e.From, e.To, "", true)
 	if i < 0 {
@@ -204,6 +218,8 @@ func (s *Search) applyDrop(g *GState, e sm.DropEvent, sc *scratch) *GState {
 //     transition models the RST being lost (Figure 9's lost RST);
 //   - the node restarts from its initial state (Init runs, possibly
 //     scheduling timers and sends).
+//
+//crystal:hotpath
 func (s *Search) applyReset(g *GState, e sm.ResetEvent, sc *scratch) *GState {
 	ns := g.nodes[e.At]
 	if ns == nil {
@@ -242,6 +258,7 @@ func (s *Search) applyReset(g *GState, e sm.ResetEvent, sc *scratch) *GState {
 		}
 	}
 	// The reset node has no stale knowledge of anyone.
+	//crystal:allow(maporder) clearStale removes distinct keys and maintains hsum by commutative subtraction, so the removal order cannot leak into the fingerprint or the successor state
 	for p := range next.stale {
 		if p.a == e.At {
 			next.clearStale(p, sc)
@@ -295,6 +312,8 @@ type eventBuf struct {
 // for H_M, sorted timer ids then model app calls, reset and conn-break
 // events for H_A — so same-seed explorations pick the same transitions
 // every run.
+//
+//crystal:hotpath
 func (s *Search) enabledInto(g *GState, buf *eventBuf) (network []sm.Event, ids []sm.NodeID, internal [][]sm.Event) {
 	if buf.seen == nil {
 		buf.seen = make(map[msgKey]struct{})

@@ -56,6 +56,7 @@ type counters struct {
 // regardless of worker count.
 type budget struct {
 	crit        StopCriterion
+	now         func() time.Time // injected clock (Config.Now)
 	began       time.Time
 	deadline    time.Time // zero when MaxWall is unbounded
 	states      atomic.Int64
@@ -63,13 +64,22 @@ type budget struct {
 	halted      atomic.Bool
 }
 
-func newBudget(crit StopCriterion, began time.Time) *budget {
-	b := &budget{crit: crit, began: began}
+// newBudget starts the accounting clock by reading now once; the same
+// injected clock serves the MaxWall deadline checks and Result.Elapsed, so a
+// fake clock exercises wall-budget expiry deterministically.
+func newBudget(crit StopCriterion, now func() time.Time) *budget {
+	if now == nil {
+		now = time.Now
+	}
+	b := &budget{crit: crit, now: now, began: now()}
 	if crit.MaxWall > 0 {
-		b.deadline = began.Add(crit.MaxWall)
+		b.deadline = b.began.Add(crit.MaxWall)
 	}
 	return b
 }
+
+// elapsed reports the wall time consumed so far, per the injected clock.
+func (b *budget) elapsed() time.Duration { return b.now().Sub(b.began) }
 
 // admitState atomically claims one unit of the state budget; it returns
 // false when the budget (states or wall clock) is exhausted.
@@ -77,7 +87,7 @@ func (b *budget) admitState() bool {
 	if b.halted.Load() {
 		return false
 	}
-	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+	if !b.deadline.IsZero() && b.now().After(b.deadline) {
 		b.halted.Store(true)
 		return false
 	}

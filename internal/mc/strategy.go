@@ -4,7 +4,6 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"crystalball/internal/props"
 	"crystalball/internal/sm"
@@ -75,8 +74,7 @@ type walkStrategy struct{}
 func (walkStrategy) Name() string { return "random-walk" }
 
 func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
-	began := time.Now()
-	bdg := newBudget(s.cfg.Stop(), began)
+	bdg := newBudget(s.cfg.Stop(), s.cfg.Now)
 	coll := newCollector(s.cfg.Budget.Violations)
 	// seen dedups reports by (violating state, signature): the same state
 	// reached by different walks can carry different onsets and final
@@ -109,7 +107,7 @@ func (walkStrategy) Explore(s *Search, start *GState, workers int) *Result {
 		StatesExplored:  bdg.statesAdmitted(),
 		Transitions:     int(transitions.Load()),
 		MaxDepthReached: int(maxDepth.Load()),
-		Elapsed:         time.Since(began),
+		Elapsed:         bdg.elapsed(),
 	}
 }
 

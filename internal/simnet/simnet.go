@@ -19,6 +19,8 @@
 package simnet
 
 import (
+	"cmp"
+	"slices"
 	"time"
 
 	"crystalball/internal/sim"
@@ -76,6 +78,14 @@ func keyFor(x, y sm.NodeID) connKey {
 		return connKey{x, y}
 	}
 	return connKey{y, x}
+}
+
+// other returns the endpoint of the pair that is not id.
+func (k connKey) other(id sm.NodeID) sm.NodeID {
+	if k.a == id {
+		return k.b
+	}
+	return k.a
 }
 
 // conn is a TCP-like bidirectional connection. Each endpoint records the
@@ -197,11 +207,22 @@ func (n *Network) Partition(a, b sm.NodeID, broken bool) {
 
 // PartitionNode severs (or heals) node id from every other registered node.
 func (n *Network) PartitionNode(id sm.NodeID, broken bool) {
-	for other := range n.nodes {
+	for _, other := range n.nodeIDs() {
 		if other != id {
 			n.Partition(id, other, broken)
 		}
 	}
+}
+
+// nodeIDs returns the registered node IDs in sorted order, so that fan-out
+// operations never depend on map iteration order.
+func (n *Network) nodeIDs() []sm.NodeID {
+	ids := make([]sm.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // Partitioned reports whether the pair is currently severed.
@@ -221,19 +242,20 @@ func (n *Network) Reset(id sm.NodeID, silent bool) {
 	}
 	var peers []broken
 	for k, c := range n.conns {
-		if k.a != id && k.b != id {
-			continue
+		if k.a == id || k.b == id {
+			peers = append(peers, broken{k.other(id), c})
 		}
-		peer := k.a
-		if peer == id {
-			peer = k.b
-		}
-		peers = append(peers, broken{peer, c})
+	}
+	// The RST fan-out below draws from the seeded rng once per peer, so the
+	// peer order must not depend on map iteration order or same-seed runs
+	// would diverge.
+	slices.SortFunc(peers, func(x, y broken) int { return cmp.Compare(x.peer, y.peer) })
+	for _, b := range peers {
 		// The resetting node is trivially "aware": its fresh
 		// incarnation knows nothing of the old socket and will
 		// reconnect cleanly. The peer holds a stale socket until it
 		// receives the RST or tries to send.
-		c.close(id)
+		b.c.close(id)
 	}
 	if silent {
 		return

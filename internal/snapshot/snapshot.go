@@ -20,12 +20,25 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"slices"
 	"time"
 
 	"crystalball/internal/runtime"
 	"crystalball/internal/sim"
 	"crystalball/internal/sm"
 )
+
+// sortedIDs returns the keys of a NodeID-keyed map in sorted order, so that
+// request fan-out and missing-peer bookkeeping never depend on Go's
+// randomized map iteration order.
+func sortedIDs[V any](m map[sm.NodeID]V) []sm.NodeID {
+	ids := make([]sm.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
 
 // Checkpoint is one stored node checkpoint.
 type Checkpoint struct {
@@ -285,16 +298,16 @@ func (m *Manager) startRound(neighbors []sm.NodeID, cr uint64, retries int, done
 		m.maybeFinish()
 		return
 	}
-	for nb := range col.want {
+	// Request order must not depend on map iteration order: control sends
+	// enter the simulated network in program order.
+	for _, nb := range sortedIDs(col.want) {
 		m.node.SendControl(nb, ckptRequest{CR: cr, Seq: col.seq, Full: m.lastRecv[nb] == nil}, 16)
 	}
 	col.timeout = m.sim.After(m.cfg.CollectTimeout, func() {
 		if m.col != col {
 			return
 		}
-		for nb := range col.want {
-			col.missing = append(col.missing, nb)
-		}
+		col.missing = append(col.missing, sortedIDs(col.want)...)
 		col.want = map[sm.NodeID]bool{}
 		m.maybeFinish()
 	})
@@ -476,7 +489,7 @@ func (m *Manager) maybeFinish() {
 		m.cn = cr
 		m.takeCheckpoint(cr)
 		var neighbors []sm.NodeID
-		for nb := range col.states {
+		for _, nb := range sortedIDs(col.states) {
 			if nb != m.node.ID {
 				neighbors = append(neighbors, nb)
 			}

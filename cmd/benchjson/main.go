@@ -8,12 +8,12 @@
 //
 // Record the "after" side of the committed artifact:
 //
-//	go run ./cmd/benchjson -label after -out BENCH_6.json
+//	go run ./cmd/benchjson -label after -out BENCH_8.json
 //
 // Compare the working tree against the committed "after" numbers
 // (warn-only: always exits 0 unless -strict):
 //
-//	go run ./cmd/benchjson -compare BENCH_6.json
+//	go run ./cmd/benchjson -compare BENCH_8.json
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 // defaultBench selects the micro-benchmarks that gate checker throughput;
 // the heavyweight paper-figure benchmarks are excluded so a recording run
 // completes in minutes.
-const defaultBench = "BenchmarkStateHash$|BenchmarkConsequencePrediction$|BenchmarkExhaustiveSearch$|BenchmarkParallelSearch$|BenchmarkReducedSearch$|BenchmarkCheckpointEncode$|BenchmarkAdaptiveRounds$"
+const defaultBench = "BenchmarkStateHash$|BenchmarkConsequencePrediction$|BenchmarkExhaustiveSearch$|BenchmarkParallelSearch$|BenchmarkReducedSearch$|BenchmarkCheckpointEncode$|BenchmarkAdaptiveRounds$|BenchmarkShardedSearch$"
 
 // Result is one benchmark's parsed numbers.
 type Result struct {
@@ -54,11 +54,12 @@ type Snapshot struct {
 
 func main() {
 	label := flag.String("label", "", "record mode: snapshot label to merge into -out (e.g. before, after)")
-	out := flag.String("out", "BENCH_6.json", "artifact file to merge the labeled snapshot into")
+	out := flag.String("out", "BENCH_8.json", "artifact file to merge the labeled snapshot into")
 	compare := flag.String("compare", "", "compare mode: artifact file to compare the current tree against")
 	against := flag.String("against", "after", "label inside the -compare artifact to compare against")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 10x)")
+	timeout := flag.String("timeout", "45m", "passed to go test -timeout (recording runs outlive the 10m default)")
 	pkg := flag.String("pkg", ".", "package holding the benchmarks")
 	input := flag.String("input", "", "parse a saved `go test -bench` output file instead of running the benchmarks")
 	procs := flag.Int("procs", 1, "with -input: GOMAXPROCS of the host that produced the file (go test appends a -N name suffix when it is not 1)")
@@ -76,7 +77,7 @@ func main() {
 	if *input != "" {
 		snap, err = parseFile(*input, *procs)
 	} else {
-		snap, err = runBenchmarks(*pkg, *bench, *benchtime)
+		snap, err = runBenchmarks(*pkg, *bench, *benchtime, *timeout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -118,10 +119,13 @@ func parseFile(path string, procs int) (*Snapshot, error) {
 	return snap, nil
 }
 
-func runBenchmarks(pkg, bench, benchtime string) (*Snapshot, error) {
+func runBenchmarks(pkg, bench, benchtime, timeout string) (*Snapshot, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", pkg}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
+	}
+	if timeout != "" {
+		args = append(args, "-timeout", timeout)
 	}
 	fmt.Fprintf(os.Stderr, "running: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
@@ -215,7 +219,16 @@ func mergeSnapshot(path, label string, snap *Snapshot) error {
 		// already recorded in the artifact.
 		return err
 	}
-	doc[label] = snap
+	// Overlay rather than replace: re-recording a subset (-bench override)
+	// refreshes those entries and keeps the rest of the label's snapshot.
+	if prior, ok := doc[label]; ok {
+		for name, r := range snap.Benchmarks {
+			prior.Benchmarks[name] = r
+		}
+		prior.Date, prior.GoVersion, prior.CPU = snap.Date, snap.GoVersion, snap.CPU
+	} else {
+		doc[label] = snap
+	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

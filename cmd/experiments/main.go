@@ -39,6 +39,7 @@ func main() {
 		states   = flag.Int("states", 0, "sweep: base per-round state budget (0 = 4000)")
 		rounds   = flag.Int("rounds", 0, "sweep: planning rounds per cell (0 = 3)")
 		reduce   = flag.String("reduce", "", "sweep: restrict the partial-order-reduction axis (on|off; empty = sweep both)")
+		shards   = flag.Int("shards", 0, "sweep: add a distributed-search axis at this shard count (0 = single engine only)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,9 @@ func main() {
 			default:
 				fmt.Fprintf(os.Stderr, "unknown -reduce %q (want on|off)\n", *reduce)
 				os.Exit(2)
+			}
+			if *shards > 1 {
+				cfg.Shards = []int{1, *shards}
 			}
 			fmt.Print(experiments.FormatSweep(experiments.Sweep(cfg)))
 		case "overhead":

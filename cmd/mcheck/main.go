@@ -12,6 +12,13 @@
 //	mcheck -service bulletprime -nodes 3 -mode exhaustive -states 50000
 //	mcheck -service chord -policy scaled -states 20000
 //	mcheck -service paxos -mode exhaustive -reduce=false
+//	mcheck -service chord -mode exhaustive -shards 4 -maxdepth 6
+//
+// -shards N runs the distributed sharded search in-process: N shard
+// goroutines each own a slice of the fingerprint space and exchange
+// out-of-range successors in batches through a coordinator (see
+// internal/dist). Exhaustive mode only; the claimed state set is identical
+// to the single-process engine's. For a real multi-process run, use shardd.
 //
 // -reduce (default on) runs the sleep-set partial-order reduction: the
 // search claims the same states and reports the same violations while
@@ -31,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"crystalball/internal/dist"
 	"crystalball/internal/mc"
 	"crystalball/internal/scenario"
 	_ "crystalball/internal/scenario/all"
@@ -56,6 +64,8 @@ func main() {
 		policy     = flag.String("policy", "fixed", "budget policy planning the search budget (fixed|scaled|adaptive)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants")
+		shards     = flag.Int("shards", 0, "distributed in-process search with this many shards (0 = single engine; exhaustive mode only)")
+		batchSize  = flag.Int("batch", 0, "forwarded-state batch size for -shards (0 = default)")
 	)
 	flag.Parse()
 
@@ -128,7 +138,30 @@ func main() {
 	cfg.Walks = *walks
 	cfg.WalkDepth = *walkDepth
 	cfg.Seed = *seed
-	res := mc.NewSearch(cfg).Run(g)
+
+	var res *mc.Result
+	var dstats dist.Stats
+	if *shards > 0 {
+		if m != mc.Exhaustive {
+			fmt.Fprintln(os.Stderr, "-shards requires -mode exhaustive")
+			os.Exit(2)
+		}
+		dres, err := dist.Local(dist.LocalConfig{
+			Shards:    *shards,
+			Search:    cfg,
+			Root:      g,
+			Budget:    cfg.Budget,
+			BatchSize: *batchSize,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res = &dres.Checker
+		dstats = dres.Stats
+	} else {
+		res = mc.NewSearch(cfg).Run(g)
+	}
 
 	fmt.Printf("mode=%s service=%s nodes=%d workers=%d\n", m, sc.Name, *nodes, res.Workers)
 	if *policy != "fixed" {
@@ -141,6 +174,10 @@ func main() {
 		float64(res.StatesExplored)/res.Elapsed.Seconds())
 	fmt.Printf("pruned=%d (sleep-hits=%d) steals=%d steal-fails=%d\n",
 		res.TransitionsPruned, res.SleepHits, res.Steals, res.StealFails)
+	if *shards > 0 {
+		fmt.Printf("shards=%d forwarded=%d received=%d remote-deduped=%d batch-flushes=%d\n",
+			*shards, dstats.StatesForwarded, dstats.StatesReceived, dstats.RemoteDeduped, dstats.BatchFlushes)
+	}
 	if len(res.Violations) == 0 {
 		fmt.Println("no violations found")
 		return

@@ -1,0 +1,213 @@
+// Command shardd runs the distributed sharded search across real
+// processes: one coordinator plus N workers, connected over TCP with the
+// length-prefixed binary protocol from internal/dist.
+//
+// The coordinator listens, waits for every worker's Hello, sends each the
+// Setup describing the scenario, then runs one distributed exhaustive
+// round and prints the merged report (the same numbers mcheck prints, plus
+// the frontier-exchange counters). Every worker builds the scenario from
+// its own registry using the Setup fields, so all shards search from a
+// bit-identical configuration.
+//
+// Usage:
+//
+//	shardd -listen :7070 -shards 2 -service chord -nodes 3 -maxdepth 6
+//	shardd -connect host:7070 -shard 0 -shards 2
+//	shardd -connect host:7070 -shard 1 -shards 2
+//
+// Workers take the scenario from the coordinator; their only required
+// flags are the address and their shard slot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"crystalball/internal/dist"
+	"crystalball/internal/mc"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "", "coordinator mode: listen address (e.g. :7070)")
+		connect    = flag.String("connect", "", "worker mode: coordinator address")
+		shard      = flag.Int("shard", 0, "worker mode: this worker's shard slot")
+		shards     = flag.Int("shards", 2, "total shard count")
+		service    = flag.String("service", "randtree", "scenario to check (coordinator)")
+		variant    = flag.String("variant", "", "scenario variant (coordinator)")
+		nodes      = flag.Int("nodes", 5, "number of nodes in the initial state (coordinator)")
+		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants (coordinator)")
+		seed       = flag.Int64("seed", 1, "random seed (coordinator)")
+		resets     = flag.Bool("resets", true, "explore node resets (coordinator)")
+		connBreaks = flag.Bool("connbreaks", false, "explore connection breaks (coordinator)")
+		maxDepth   = flag.Int("maxdepth", 0, "depth bound (0 = unbounded)")
+		maxStates  = flag.Int("states", 500000, "state budget across all shards")
+		maxWall    = flag.Duration("wall", time.Minute, "wall-clock budget")
+		maxViol    = flag.Int("violations", 3, "per-shard violation quota")
+		workers    = flag.Int("workers", 1, "expansion workers per shard")
+		batchSize  = flag.Int("batch", 0, "forwarded-state batch size (0 = default)")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *listen != "" && *connect == "":
+		err = coordinate(*listen, *shards, dist.Setup{
+			Scenario:   *service,
+			Nodes:      *nodes,
+			Variant:    *variant,
+			Fixed:      *fixed,
+			Seed:       *seed,
+			Resets:     *resets,
+			ConnBreaks: *connBreaks,
+			Workers:    *workers,
+			BatchSize:  *batchSize,
+		}, mc.Budget{
+			States:     *maxStates,
+			Depth:      *maxDepth,
+			Wall:       *maxWall,
+			Violations: *maxViol,
+			Workers:    *workers,
+		})
+	case *connect != "" && *listen == "":
+		err = work(*connect, *shard, *shards)
+	default:
+		err = fmt.Errorf("exactly one of -listen (coordinator) or -connect (worker) is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// buildScenario constructs the search configuration a Setup describes —
+// the one function both roles share, which is what keeps the shards'
+// configurations bit-identical.
+func buildScenario(su dist.Setup) (*mc.GState, mc.Config, error) {
+	g, cfg, err := scenario.InitialState(su.Scenario, scenario.Options{
+		Nodes:   su.Nodes,
+		Fixed:   su.Fixed,
+		Variant: su.Variant,
+	})
+	if err != nil {
+		return nil, mc.Config{}, err
+	}
+	cfg.Mode = mc.Exhaustive
+	cfg.Seed = su.Seed
+	cfg.ExploreResets = su.Resets
+	cfg.ExploreConnBreaks = su.ConnBreaks
+	return g, cfg, nil
+}
+
+func coordinate(addr string, shards int, su dist.Setup, budget mc.Budget) error {
+	if shards <= 0 {
+		return fmt.Errorf("-shards must be positive")
+	}
+	// Validate the scenario locally before any worker connects, and keep
+	// the probe around for violation-path replay in the merge.
+	g, cfg, err := buildScenario(su)
+	if err != nil {
+		return err
+	}
+	probe := mc.NewSearch(cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("coordinator: waiting for %d workers on %s\n", shards, ln.Addr())
+
+	conns := make([]dist.Conn, shards)
+	for joined := 0; joined < shards; {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conn := dist.WrapTCP(nc)
+		m, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("worker handshake: %w", err)
+		}
+		h, ok := m.(dist.Hello)
+		if !ok || h.Shard < 0 || h.Shard >= shards || h.Shards != shards || conns[h.Shard] != nil {
+			conn.Close()
+			return fmt.Errorf("bad worker hello %+v (want a free slot in 0..%d)", m, shards-1)
+		}
+		if err := conn.Send(su); err != nil {
+			conn.Close()
+			return fmt.Errorf("worker %d setup: %w", h.Shard, err)
+		}
+		conns[h.Shard] = conn
+		joined++
+		fmt.Printf("coordinator: worker %d joined (%d/%d)\n", h.Shard, joined, shards)
+	}
+
+	coord := dist.NewCoordinator(conns, dist.CoordinatorConfig{Search: probe, Root: g})
+	defer coord.Shutdown()
+	res, err := coord.RunRound(budget, false)
+	if err != nil {
+		return err
+	}
+
+	r := &res.Checker
+	fmt.Printf("service=%s nodes=%d shards=%d workers/shard=%d\n", su.Scenario, su.Nodes, shards, budget.Workers)
+	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v states/sec=%.0f\n",
+		r.StatesExplored, r.Transitions, r.MaxDepthReached, r.Elapsed.Round(time.Millisecond),
+		float64(r.StatesExplored)/r.Elapsed.Seconds())
+	fmt.Printf("forwarded=%d received=%d remote-deduped=%d batch-flushes=%d\n",
+		res.Stats.StatesForwarded, res.Stats.StatesReceived, res.Stats.RemoteDeduped, res.Stats.BatchFlushes)
+	if len(r.Violations) == 0 {
+		fmt.Println("no violations found")
+		return nil
+	}
+	for i, v := range r.Violations {
+		fmt.Printf("violation %d: %v at depth %d\n", i+1, v.Properties, v.Depth)
+		for _, ev := range v.Path {
+			fmt.Printf("  %s\n", ev.Describe())
+		}
+	}
+	return nil
+}
+
+func work(addr string, shard, shards int) error {
+	conn, err := dist.DialTCP(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(dist.Hello{Shard: shard, Shards: shards}); err != nil {
+		return err
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("waiting for setup: %w", err)
+	}
+	su, ok := m.(dist.Setup)
+	if !ok {
+		return fmt.Errorf("expected setup, got %T", m)
+	}
+	g, cfg, err := buildScenario(su)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d/%d: searching %s\n", shard, shards, su.Scenario)
+	err = dist.RunShard(conn, dist.ShardConfig{
+		Index:     shard,
+		Shards:    shards,
+		Search:    cfg,
+		Root:      g,
+		BatchSize: su.BatchSize,
+	})
+	if err == dist.ErrClosed || err == nil {
+		fmt.Printf("worker %d: done\n", shard)
+		return nil
+	}
+	return err
+}

@@ -21,6 +21,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc:  "flag range-over-map whose iteration order can leak into deterministic exploration",
 	PackagePrefixes: []string{
+		"crystalball/internal/dist",
 		"crystalball/internal/mc",
 		"crystalball/internal/sm",
 		"crystalball/internal/sim",

@@ -31,6 +31,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "walltime",
 	Doc:  "flag time.Now/time.Since/time.Sleep in simulation-deterministic code (virtual clocks only)",
 	PackagePrefixes: []string{
+		"crystalball/internal/dist",
 		"crystalball/internal/mc",
 		"crystalball/internal/sm",
 		"crystalball/internal/sim",

@@ -1,0 +1,74 @@
+package controller_test
+
+import (
+	"testing"
+	"time"
+
+	"crystalball/internal/dist"
+	"crystalball/internal/mc"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
+)
+
+// TestMergedReportDrivesPolicy pins the distributed search's controller
+// seam: the coordinator merges per-shard reports into one mc.RoundReport,
+// and that merged report must drive the same Policy machinery a serial
+// round drives. Two adaptive policies observe the same round — one fed
+// the dist coordinator's merged report, one fed a serial report with the
+// identical numbers — and must plan identical budgets for every
+// subsequent round. This is what lets a controller swap its engine for a
+// shard fleet without touching its Plan/Observe loop.
+func TestMergedReportDrivesPolicy(t *testing.T) {
+	g, cfg, err := scenario.InitialState("chord", scenario.Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = mc.Exhaustive
+	cfg.Seed = 11
+
+	res, err := dist.Local(dist.LocalConfig{
+		Shards: 2,
+		Search: cfg,
+		Root:   g,
+		Budget: mc.Budget{Depth: 4, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := res.Round
+	if merged.States == 0 || merged.States != res.Checker.StatesExplored {
+		t.Fatalf("merged report states = %d, checker explored %d", merged.States, res.Checker.StatesExplored)
+	}
+
+	serial := mc.RoundReport{
+		Budget:     merged.Budget,
+		States:     merged.States,
+		Violations: merged.Violations,
+		Pruned:     merged.Pruned,
+		Elapsed:    merged.Elapsed,
+	}
+
+	spec := mc.PolicySpec{Kind: mc.PolicyAdaptive, Base: mc.Budget{States: 4000, Workers: 1}}
+	distPol, serialPol := spec.MustNew(), spec.MustNew()
+	info := mc.RoundInfo{
+		Round:         1,
+		SnapshotBytes: g.EncodedSize(),
+		SnapshotNodes: len(g.Nodes()),
+		Interval:      10 * time.Second,
+	}
+	if a, b := distPol.Plan(info), serialPol.Plan(info); a != b {
+		t.Fatalf("pre-observe plans diverge: %+v vs %+v", a, b)
+	}
+	distPol.Observe(merged)
+	serialPol.Observe(serial)
+	for round := 2; round <= 4; round++ {
+		info.Round = round
+		a, b := distPol.Plan(info), serialPol.Plan(info)
+		if a != b {
+			t.Fatalf("round %d: merged-report plan %+v != serial-report plan %+v", round, a, b)
+		}
+		rep := mc.RoundReport{Budget: a, States: a.States, Elapsed: time.Second}
+		distPol.Observe(rep)
+		serialPol.Observe(rep)
+	}
+}

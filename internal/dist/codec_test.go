@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/sm"
+)
+
+// sampleMsgs covers every protocol message type, with every field that can
+// be non-zero populated.
+func sampleMsgs() []Msg {
+	path := []EventDesc{
+		{Kind: 'M', From: 1, Node: 2, Name: "Join", Arg: 0xdeadbeef},
+		{Kind: 'T', Node: 3, Name: "recovery"},
+		{Kind: 'A', Node: 1, Name: "propose", Arg: 42},
+		{Kind: 'R', Node: 2},
+		{Kind: 'E', Node: 1, From: 3},
+		{Kind: 'D', From: 2, Node: 1},
+	}
+	return []Msg{
+		Hello{Shard: 1, Shards: 4},
+		Setup{
+			Scenario: "chord", Nodes: 5, Variant: "bug1", Fixed: true,
+			Seed: -3, Resets: true, ConnBreaks: true, Workers: 2, BatchSize: 64,
+		},
+		RoundStart{
+			Round: 3,
+			Budget: mc.Budget{
+				States: 1000, Depth: 12, Wall: 5 * time.Second,
+				Violations: 8, Transitions: 9000, Workers: 2,
+			},
+			RecordStates: true,
+		},
+		Batch{From: 0, To: 1, States: []ForwardState{
+			{Hash: 0x1234, Depth: 3, Path: path[:3]},
+			{Hash: 0x5678, Depth: 6, Path: path},
+		}},
+		Idle{Shard: 2, Received: 17},
+		RoundEnd{},
+		ShardReport{
+			Shard: 1, States: 400, Expansions: 390, Transitions: 2200,
+			MaxDepth: 12, Exhausted: true,
+			Violations: []Violation{
+				{Props: []string{"ring", "safety"}, Depth: 4, StateHash: 0xabc, Path: path[:2]},
+			},
+			Stats:   Stats{StatesForwarded: 9, StatesReceived: 8, RemoteDeduped: 3, BatchFlushes: 2},
+			Claimed: []uint64{1, 2, 3},
+			Locals:  []uint64{7, 9},
+		},
+		Shutdown{},
+		Fault{Shard: 3, Err: "boom"},
+	}
+}
+
+// TestCodecRoundTrip pins that every message type survives
+// encode → decode → encode byte-identically and value-identically.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		enc := sm.NewEncoder()
+		if err := encodeMsg(enc, m); err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		first := append([]byte(nil), enc.Bytes()...)
+		got, err := decodeMsg(sm.NewDecoder(first))
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T: decoded value diverges:\n got %#v\nwant %#v", m, got, m)
+		}
+		enc.Reset()
+		if err := encodeMsg(enc, got); err != nil {
+			t.Fatalf("%T: re-encode: %v", m, err)
+		}
+		if !bytes.Equal(enc.Bytes(), first) {
+			t.Errorf("%T: re-encoded bytes differ", m)
+		}
+		if d := sm.NewDecoder(first); func() bool { _, err := decodeMsg(d); return err == nil && d.Remaining() != 0 }() {
+			t.Errorf("%T: decode left %d trailing bytes", m, d.Remaining())
+		}
+	}
+}
+
+// TestLoopbackRoundTrip pins that the in-process transport delivers every
+// message type unchanged, in order.
+func TestLoopbackRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatalf("send %T: %v", m, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("loopback corrupted %T: got %#v", want, got)
+		}
+	}
+	if _, ok, err := b.TryRecv(); ok || err != nil {
+		t.Fatalf("queue should be empty: ok=%v err=%v", ok, err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("recv after close: %v, want ErrClosed", err)
+	}
+}
+
+// FuzzCodec feeds arbitrary bytes to the decoder; whatever decodes must
+// re-encode byte-identically (the canonical-form property the satellite
+// pins) and never panic.
+func FuzzCodec(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		enc := sm.NewEncoder()
+		if err := encodeMsg(enc, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), enc.Bytes()...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'B', 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMsg(sm.NewDecoder(data))
+		if err != nil {
+			return
+		}
+		enc := sm.NewEncoder()
+		if err := encodeMsg(enc, m); err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", m, err)
+		}
+		again, err := decodeMsg(sm.NewDecoder(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", m, err)
+		}
+		enc2 := sm.NewEncoder()
+		if err := encodeMsg(enc2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+			t.Fatalf("%T: encode∘decode not idempotent", m)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/sm"
+)
+
+// CoordinatorConfig parameterises the hub.
+type CoordinatorConfig struct {
+	// Now is the clock Result.Checker.Elapsed reads (nil = time.Now) —
+	// the coordinator's only wall-clock access, injected so round timing
+	// is testable like the engine's.
+	Now func() time.Time
+	// Search and Root, when set, let the coordinator materialize real
+	// event paths for violations that arrived as wire descriptors (TCP
+	// shards). Without them such violations keep a nil path. In-process
+	// shards hand real events through, so dist.Local never needs the
+	// replay.
+	Search *mc.Search
+	Root   *mc.GState
+}
+
+// arrival is one message fanned in from a shard connection.
+type arrival struct {
+	shard int
+	msg   Msg
+	err   error
+}
+
+// Coordinator is the hub of a distributed search session: it fans rounds
+// out, relays every inter-shard batch (counting credits for the quiescence
+// check), and merges shard reports into the one result the controller
+// consumes. Methods must be called from a single goroutine.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	conns []Conn
+	inbox chan arrival
+	done  chan struct{}
+	round int
+	exp   *mc.Expander // lazy replay workspace (wire-mode violations)
+	enc   *sm.Encoder
+}
+
+// NewCoordinator wraps one connection per shard (index = shard id) and
+// starts a reader per connection, fanning messages into the coordinator's
+// inbox.
+func NewCoordinator(conns []Conn, cfg CoordinatorConfig) *Coordinator {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		conns: conns,
+		inbox: make(chan arrival, 4*len(conns)+16),
+		done:  make(chan struct{}),
+	}
+	for i, conn := range conns {
+		go c.pump(i, conn)
+	}
+	return c
+}
+
+func (c *Coordinator) pump(shard int, conn Conn) {
+	for {
+		m, err := conn.Recv()
+		select {
+		case c.inbox <- arrival{shard: shard, msg: m, err: err}:
+		case <-c.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Shutdown ends the session: every shard is asked to exit and the
+// connections are closed. Call exactly once, after the last round.
+func (c *Coordinator) Shutdown() {
+	for _, conn := range c.conns {
+		_ = conn.Send(Shutdown{})
+	}
+	close(c.done)
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+}
+
+// Result is one distributed round's merged outcome.
+type Result struct {
+	// Checker is the merged search result in the single-process engine's
+	// shape: claimed-state totals, max depth, merged deduplicated
+	// violations, distinct local-state coverage, and — on RecordStates
+	// rounds — the unioned claimed-fingerprint dump. Memory accounting
+	// (PeakMemoryBytes/PerStateBytes) is per-process and stays zero.
+	Checker mc.Result
+	// Round is the merged per-round report in the shape the controller's
+	// budget policies Observe.
+	Round mc.RoundReport
+	// Stats sums the shards' frontier-exchange counters.
+	Stats Stats
+	// PerShard keeps each shard's raw report (telemetry; per-shard
+	// expansion counts are scheduling-dependent).
+	PerShard []ShardReport
+}
+
+// RunRound runs one distributed exhaustive round: split the budget, fan
+// out, relay batches until quiescent, then collect and merge reports. A
+// shard connection failing mid-round surfaces here as an error — the round
+// is then unrecoverable and the caller should Shutdown.
+func (c *Coordinator) RunRound(b mc.Budget, recordStates bool) (*Result, error) {
+	c.round++
+	began := c.cfg.Now()
+	shares := SplitBudget(b, len(c.conns))
+	for i, conn := range c.conns {
+		if err := conn.Send(RoundStart{Round: c.round, Budget: shares[i], RecordStates: recordStates}); err != nil {
+			return nil, errorf("shard %d: round start: %w", i, err)
+		}
+	}
+
+	q := newQuiescence(len(c.conns))
+	for !q.quiescent() {
+		a := <-c.inbox
+		if a.err != nil {
+			return nil, errorf("shard %d connection: %w", a.shard, a.err)
+		}
+		switch m := a.msg.(type) {
+		case Batch:
+			if m.To < 0 || m.To >= len(c.conns) {
+				return nil, errorf("shard %d sent batch for unknown shard %d", a.shard, m.To)
+			}
+			q.relay(m.To)
+			if err := c.conns[m.To].Send(m); err != nil {
+				return nil, errorf("relay to shard %d: %w", m.To, err)
+			}
+		case Idle:
+			if err := q.idle(a.shard, m.Received); err != nil {
+				return nil, err
+			}
+		case Fault:
+			return nil, errorf("shard %d: %s", m.Shard, m.Err)
+		default:
+			return nil, errorf("shard %d: unexpected %T during round", a.shard, a.msg)
+		}
+	}
+
+	for i, conn := range c.conns {
+		if err := conn.Send(RoundEnd{}); err != nil {
+			return nil, errorf("shard %d: round end: %w", i, err)
+		}
+	}
+	reports := make([]ShardReport, len(c.conns))
+	for got := 0; got < len(c.conns); {
+		a := <-c.inbox
+		if a.err != nil {
+			return nil, errorf("shard %d connection: %w", a.shard, a.err)
+		}
+		switch m := a.msg.(type) {
+		case ShardReport:
+			if m.Shard != a.shard {
+				return nil, errorf("shard %d reported as shard %d", a.shard, m.Shard)
+			}
+			reports[a.shard] = m
+			got++
+		case Fault:
+			return nil, errorf("shard %d: %s", m.Shard, m.Err)
+		default:
+			return nil, errorf("shard %d: unexpected %T while collecting reports", a.shard, a.msg)
+		}
+	}
+	return c.merge(b, shares[0].Workers, reports, began)
+}
+
+// merge folds the shard reports into the single result/round-report pair.
+func (c *Coordinator) merge(planned mc.Budget, workers int, reports []ShardReport, began time.Time) (*Result, error) {
+	res := &Result{PerShard: reports}
+	var claimed, locals []uint64
+	recorded := false
+	for i := range reports {
+		r := &reports[i]
+		res.Checker.StatesExplored += int(r.States)
+		res.Checker.Transitions += int(r.Transitions)
+		if int(r.MaxDepth) > res.Checker.MaxDepthReached {
+			res.Checker.MaxDepthReached = int(r.MaxDepth)
+		}
+		res.Stats.add(r.Stats)
+		locals = append(locals, r.Locals...)
+		if r.Claimed != nil {
+			recorded = true
+			claimed = append(claimed, r.Claimed...)
+		}
+	}
+	// Hash ranges partition the space, so claimed sets are disjoint;
+	// locals overlap and need deduplication.
+	locals = sortDedup(locals)
+	res.Checker.DistinctLocalStates = len(locals)
+	if recorded {
+		sort.Slice(claimed, func(i, j int) bool { return claimed[i] < claimed[j] })
+		res.Checker.ClaimedStates = claimed
+	}
+	res.Checker.Workers = workers
+	res.Checker.Elapsed = c.cfg.Now().Sub(began)
+
+	vios, err := c.mergeViolations(reports)
+	if err != nil {
+		return nil, err
+	}
+	res.Checker.Violations = vios
+
+	res.Round = mc.RoundReport{
+		Budget:     planned,
+		States:     res.Checker.StatesExplored,
+		Violations: len(vios),
+		Elapsed:    res.Checker.Elapsed,
+	}
+	return res, nil
+}
+
+// mergeViolations deduplicates across shards by violated-property set,
+// keeping the minimal (depth, state hash) representative — the same rule
+// each shard applies locally — and materializes paths.
+func (c *Coordinator) mergeViolations(reports []ShardReport) ([]mc.Violation, error) {
+	bySig := make(map[string]int)
+	var kept []Violation
+	for i := range reports {
+		for _, v := range reports[i].Violations {
+			sig := strings.Join(v.Props, "|")
+			j, seen := bySig[sig]
+			if !seen {
+				bySig[sig] = len(kept)
+				kept = append(kept, v)
+				continue
+			}
+			old := kept[j]
+			if v.Depth < old.Depth || (v.Depth == old.Depth && v.StateHash < old.StateHash) {
+				kept[j] = v
+			}
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Depth != kept[j].Depth {
+			return kept[i].Depth < kept[j].Depth
+		}
+		if kept[i].StateHash != kept[j].StateHash {
+			return kept[i].StateHash < kept[j].StateHash
+		}
+		return strings.Join(kept[i].Props, "|") < strings.Join(kept[j].Props, "|")
+	})
+	out := make([]mc.Violation, len(kept))
+	for i, v := range kept {
+		path := v.events
+		if path == nil && len(v.Path) > 0 && c.cfg.Search != nil && c.cfg.Root != nil {
+			var err error
+			path, _, err = replayDescs(c.cfg.Search, c.replayExpander(), c.replayScratch(), c.cfg.Root, v.Path, true)
+			if err != nil {
+				return nil, errorf("materializing violation path: %w", err)
+			}
+		}
+		out[i] = mc.Violation{
+			Properties: v.Props,
+			Path:       path,
+			StateHash:  v.StateHash,
+			Depth:      int(v.Depth),
+		}
+	}
+	return out, nil
+}
+
+// replayExpander / replayScratch lazily build the coordinator's replay
+// workspace (only wire-mode sessions with violations ever need one).
+func (c *Coordinator) replayExpander() *mc.Expander {
+	if c.exp == nil {
+		c.exp = c.cfg.Search.NewExpander()
+	}
+	return c.exp
+}
+
+func (c *Coordinator) replayScratch() *sm.Encoder {
+	if c.enc == nil {
+		c.enc = sm.NewEncoder()
+	}
+	return c.enc
+}
+
+// SplitBudget divides a round's budget across n shards: States and
+// Transitions split near-evenly (low shards take the remainder); Depth and
+// Wall bound each shard identically; Workers is the per-shard worker
+// count; Violations gives every shard the full quota — the merged report
+// deduplicates, so a distributed round may record up to n× the quota
+// before all shards halt (quota rounds trade exactness for an early stop,
+// as the serial engine's do under >1 worker).
+func SplitBudget(b mc.Budget, n int) []mc.Budget {
+	shares := make([]mc.Budget, n)
+	for i := range shares {
+		s := b
+		s.States = splitShare(b.States, i, n)
+		s.Transitions = splitShare(b.Transitions, i, n)
+		shares[i] = s
+	}
+	return shares
+}
+
+func splitShare(total, i, n int) int {
+	if total == 0 {
+		return 0
+	}
+	q, r := total/n, total%n
+	if i < r {
+		return q + 1
+	}
+	return q
+}
+
+// sortDedup sorts hs and removes duplicates in place.
+func sortDedup(hs []uint64) []uint64 {
+	if len(hs) == 0 {
+		return hs
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	out := hs[:1]
+	for _, h := range hs[1:] {
+		if h != out[len(out)-1] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package dist is the distributed sharded state-space search: the ROADMAP's
+// "scale across processes and machines" arc, built on the seams the earlier
+// platform work left open (mc.HashRange/Expander, mc.Budget/Policy,
+// PR 6's per-worker frontier).
+//
+// The visited set is partitioned by hash range over the 64-bit state
+// fingerprint (mc.ShardRange): each shard owns one contiguous range and
+// runs its own expansion engine over the states it owns. Successors hashing
+// outside the local range are accumulated into per-owner batches and
+// forwarded over a Transport — an in-process loopback for deterministic
+// tests and single-binary runs (mcheck -shards), or length-prefixed binary
+// TCP for real multi-process runs (cmd/shardd). All traffic flows through
+// the coordinator hub (a star topology): shard-to-shard batches are relayed
+// by the coordinator, which lets it run a credit-counted quiescence check —
+// every relayed batch is a credit that the destination shard repays in its
+// next idle report, so a distributed exhaustive round terminates the moment
+// all credits are repaid and every shard is drained, with no global barrier
+// per BFS level (termination.go).
+//
+// Unlike the in-process engine's level-synchronized frontier, shards
+// process their frontier asynchronously: a state can arrive from a remote
+// shard at any depth, including a smaller depth than it was first claimed
+// at. Each shard therefore keeps visited as fingerprint → minimal claimed
+// depth and re-expands a state whenever it re-arrives strictly shallower,
+// which restores exactly the subtree a depth-bounded BFS would have
+// explored. The claimed-state set of a depth-bounded distributed round is
+// consequently identical to the single-process engine's at any shard and
+// worker count (the differential oracle in internal/scenario pins this),
+// while expansion *counts* (transitions, re-expansions) are scheduling
+// telemetry, like the engine's steal counters.
+//
+// Scope: distributed rounds run Exhaustive mode only. Consequence
+// prediction's (node, local state) table and the sleep-set reduction's
+// same-level sibling claims are global coordination the shards deliberately
+// do not attempt; Reduce is forced off in shard engines.
+package dist
+
+import "fmt"
+
+// Stats counts one shard's frontier-exchange traffic; the coordinator sums
+// them into the round's totals. cmd/experiments -exp sweep reports these
+// alongside the checker's Steals/Pruned telemetry.
+type Stats struct {
+	// StatesForwarded counts successors handed to a remote owner shard.
+	StatesForwarded int64
+	// StatesReceived counts states that arrived from remote shards.
+	StatesReceived int64
+	// RemoteDeduped counts received states the owner had already claimed
+	// at an equal or smaller depth — the cross-shard duplicate work the
+	// sender-side forward cache could not see.
+	RemoteDeduped int64
+	// BatchFlushes counts outgoing batch sends (full batches plus the
+	// end-of-drain flushes).
+	BatchFlushes int64
+}
+
+// add folds another shard's counters in.
+func (s *Stats) add(o Stats) {
+	s.StatesForwarded += o.StatesForwarded
+	s.StatesReceived += o.StatesReceived
+	s.RemoteDeduped += o.RemoteDeduped
+	s.BatchFlushes += o.BatchFlushes
+}
+
+// DefaultBatchSize is the forwarded-state batch flush threshold: batches
+// are sent when they reach this many states (and at every drain end), so
+// transport framing and hub relaying amortize over many states.
+const DefaultBatchSize = 128
+
+// errorf is fmt.Errorf with the package prefix every dist error carries.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("dist: "+format, args...)
+}

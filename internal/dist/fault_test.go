@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
+)
+
+func chordStart(t *testing.T) (*mc.GState, mc.Config) {
+	t.Helper()
+	g, cfg, err := scenario.InitialState("chord", scenario.Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = mc.Exhaustive
+	cfg.Seed = 42
+	return g, cfg
+}
+
+// TestShardDropMidRound pins the transport-fault satellite: a shard whose
+// connection dies mid-round must surface as a round error at the
+// coordinator — promptly, not as a hang (the test would time out).
+func TestShardDropMidRound(t *testing.T) {
+	g, cfg := chordStart(t)
+
+	// Shard 0 is real; "shard" 1 accepts the round start and then drops.
+	hub0, side0 := Pipe()
+	hub1, side1 := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunShard(side0, ShardConfig{Index: 0, Shards: 2, Search: cfg, Root: g})
+	}()
+	go func() {
+		if _, err := side1.Recv(); err != nil { // RoundStart
+			return
+		}
+		side1.Close()
+	}()
+
+	coord := NewCoordinator([]Conn{hub0, hub1}, CoordinatorConfig{})
+	_, err := coord.RunRound(mc.Budget{Depth: 5, Workers: 1}, false)
+	if err == nil {
+		t.Fatalf("round with a dropped shard reported success")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error does not name the dropped shard: %v", err)
+	}
+	coord.Shutdown()
+	if serr := <-done; serr != nil && serr != ErrClosed {
+		t.Errorf("surviving shard exited with: %v", serr)
+	}
+}
+
+// TestShardFaultSurfaces pins the other fault path: a shard that hits an
+// internal error reports a Fault message and the coordinator aborts the
+// round with it.
+func TestShardFaultSurfaces(t *testing.T) {
+	g, cfg := chordStart(t)
+	hub0, side0 := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunShard(side0, ShardConfig{Index: 0, Shards: 1, Search: cfg, Root: g})
+	}()
+	// Drive the shard directly: a batch carrying a corrupt forwarded state
+	// (no node, no path) trips the shard's ingest validation.
+	if err := hub0.Send(RoundStart{Round: 1, Budget: mc.Budget{Depth: 2, Workers: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub0.Send(Batch{From: 0, To: 0, States: []ForwardState{{Hash: 1, Depth: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for {
+		m, err := hub0.Recv()
+		if err != nil {
+			break
+		}
+		if f, ok := m.(Fault); ok {
+			sawFault = true
+			if !strings.Contains(f.Err, "no path") && !strings.Contains(f.Err, "outside owned range") {
+				t.Errorf("unexpected fault text: %s", f.Err)
+			}
+			break
+		}
+	}
+	if !sawFault {
+		t.Fatalf("shard never surfaced a Fault for the corrupt batch")
+	}
+	if serr := <-done; serr == nil {
+		t.Errorf("faulting shard exited cleanly")
+	}
+	hub0.Close()
+}
+
+// TestLocalMatchesSerial is the package-local smoke version of the
+// scenario differential oracle (which covers every registered scenario).
+func TestLocalMatchesSerial(t *testing.T) {
+	g, cfg := chordStart(t)
+	cfg.Budget = mc.Budget{Depth: 4, Workers: 1}
+	cfg.RecordClaimedStates = true
+	serial := mc.NewSearch(cfg).Run(g)
+
+	res, err := Local(LocalConfig{
+		Shards:       2,
+		Search:       cfg,
+		Root:         g,
+		Budget:       mc.Budget{Depth: 4, Workers: 1},
+		RecordStates: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Checker.ClaimedStates), len(serial.ClaimedStates); got != want {
+		t.Fatalf("claimed %d states, serial claimed %d", got, want)
+	}
+	for i, h := range res.Checker.ClaimedStates {
+		if serial.ClaimedStates[i] != h {
+			t.Fatalf("claimed set diverges at %d", i)
+		}
+	}
+	if res.Stats.StatesForwarded == 0 || res.Stats.BatchFlushes == 0 {
+		t.Errorf("two shards exchanged no states: %+v", res.Stats)
+	}
+	if res.Round.States != res.Checker.StatesExplored {
+		t.Errorf("round report states %d != checker states %d", res.Round.States, res.Checker.StatesExplored)
+	}
+}

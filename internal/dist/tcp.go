@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+
+	"crystalball/internal/sm"
+)
+
+// Length-prefixed binary TCP transport: one frame per message,
+// [uint32 big-endian length][kind byte + body], body encoded by
+// transport.go's codec. Each connection runs a dedicated reader goroutine
+// that pumps decoded frames into an unbounded queue, so the peer's writes
+// always make progress regardless of what the application is doing —
+// the same no-backpressure property the loopback transport has, which the
+// deadlock-freedom of batch exchange relies on.
+
+// maxFrame bounds a frame's body; a length above it means a corrupt or
+// hostile stream.
+const maxFrame = 64 << 20
+
+// tcpConn adapts a net.Conn to the Conn interface.
+type tcpConn struct {
+	nc   net.Conn
+	in   *msgQueue
+	wmu  sync.Mutex
+	enc  *sm.Encoder
+	wbuf []byte
+}
+
+// WrapTCP frames msgs over nc and starts the reader pump. The returned
+// Conn owns nc; Close closes it.
+func WrapTCP(nc net.Conn) Conn {
+	c := &tcpConn{nc: nc, in: newMsgQueue(), enc: sm.NewEncoder()}
+	go c.readLoop()
+	return c
+}
+
+// DialTCP connects to a coordinator or worker at addr.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return WrapTCP(nc), nil
+}
+
+func (c *tcpConn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.in.close(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			c.in.close(errorf("tcp: bad frame length %d", n))
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			c.in.close(err)
+			return
+		}
+		m, err := decodeMsg(sm.NewDecoder(body))
+		if err != nil {
+			c.in.close(err)
+			return
+		}
+		if err := c.in.put(m); err != nil {
+			return
+		}
+	}
+}
+
+func (c *tcpConn) Send(m Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.enc.Reset()
+	if err := encodeMsg(c.enc, m); err != nil {
+		return err
+	}
+	body := c.enc.Bytes()
+	if len(body) > maxFrame {
+		return errorf("tcp: message %T exceeds frame limit (%d bytes)", m, len(body))
+	}
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = binary.BigEndian.AppendUint32(c.wbuf, uint32(len(body)))
+	c.wbuf = append(c.wbuf, body...)
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+func (c *tcpConn) Recv() (Msg, error)          { return c.in.get() }
+func (c *tcpConn) TryRecv() (Msg, bool, error) { return c.in.tryGet() }
+
+func (c *tcpConn) Close() error {
+	err := c.nc.Close()
+	c.in.close(nil)
+	return err
+}

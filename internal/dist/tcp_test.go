@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"crystalball/internal/mc"
+)
+
+// TestTCPSmoke runs a two-shard search over real TCP sockets on loopback
+// and checks the claimed-state set against the serial engine. Wire mode
+// exercises the parts the in-process transport skips: codec framing, path
+// materialization on forward, and replay-with-hash-verification on ingest.
+func TestTCPSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer ln.Close()
+
+	g, cfg := chordStart(t)
+	cfg.RecordClaimedStates = true
+	serialCfg := cfg
+	serialCfg.Budget = mc.Budget{Depth: 4, Workers: 1}
+	serial := mc.NewSearch(serialCfg).Run(g)
+
+	const shards = 2
+	shardErrs := make(chan error, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		go func() {
+			conn, err := DialTCP(ln.Addr().String())
+			if err != nil {
+				shardErrs <- err
+				return
+			}
+			if err := conn.Send(Hello{Shard: i, Shards: shards}); err != nil {
+				shardErrs <- err
+				return
+			}
+			shardErrs <- RunShard(conn, ShardConfig{
+				Index: i, Shards: shards, Search: cfg, Root: g, BatchSize: 8,
+			})
+		}()
+	}
+	// Accept order is not dial order: each worker's Hello names its slot.
+	conns := make([]Conn, shards)
+	for i := 0; i < shards; i++ {
+		nc, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn := WrapTCP(nc)
+		m, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, ok := m.(Hello)
+		if !ok || h.Shard < 0 || h.Shard >= shards || conns[h.Shard] != nil {
+			t.Fatalf("bad hello %#v", m)
+		}
+		conns[h.Shard] = conn
+	}
+
+	probe := mc.NewSearch(cfg)
+	coord := NewCoordinator(conns, CoordinatorConfig{Search: probe, Root: g})
+	res, err := coord.RunRound(mc.Budget{Depth: 4, Workers: 1}, true)
+	if err != nil {
+		t.Fatalf("tcp round: %v", err)
+	}
+	coord.Shutdown()
+	for i := 0; i < shards; i++ {
+		if serr := <-shardErrs; serr != nil && serr != ErrClosed {
+			t.Errorf("shard exited with: %v", serr)
+		}
+	}
+
+	if !reflect.DeepEqual(res.Checker.ClaimedStates, serial.ClaimedStates) {
+		t.Errorf("tcp claimed set diverges from serial (%d vs %d states)",
+			len(res.Checker.ClaimedStates), len(serial.ClaimedStates))
+	}
+	if res.Checker.StatesExplored != serial.StatesExplored {
+		t.Errorf("tcp StatesExplored=%d, serial %d", res.Checker.StatesExplored, serial.StatesExplored)
+	}
+	if res.Checker.DistinctLocalStates != serial.DistinctLocalStates {
+		t.Errorf("tcp DistinctLocalStates=%d, serial %d",
+			res.Checker.DistinctLocalStates, serial.DistinctLocalStates)
+	}
+	if res.Stats.StatesReceived == 0 {
+		t.Errorf("no states crossed the wire: %+v", res.Stats)
+	}
+}
+
+// TestTCPConnRoundTrip pins that the framed transport delivers every
+// message type unchanged, in order, over a real socket pair.
+func TestTCPConnRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- WrapTCP(nc)
+	}()
+	a, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := <-accepted
+
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatalf("send %T: %v", m, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		// In-process node pointers cannot cross the wire; everything
+		// else must survive byte-exactly.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("tcp corrupted %T:\n got %#v\nwant %#v", want, got, want)
+		}
+	}
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Fatalf("recv after peer close succeeded")
+	}
+	b.Close()
+}

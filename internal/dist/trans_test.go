@@ -1,0 +1,31 @@
+package dist
+
+import (
+	"testing"
+
+	"crystalball/internal/mc"
+)
+
+// TestUnbudgetedCountersTick pins that the expansion and transition
+// counters tick even when the budget leaves them unlimited (a
+// short-circuit around the atomic add once silently zeroed both).
+func TestUnbudgetedCountersTick(t *testing.T) {
+	g, cfg := chordStart(t)
+	res, err := Local(LocalConfig{
+		Shards: 2,
+		Search: cfg,
+		Root:   g,
+		Budget: mc.Budget{Depth: 4, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checker.Transitions == 0 {
+		t.Errorf("merged transition count is zero")
+	}
+	for _, r := range res.PerShard {
+		if r.States > 0 && r.Expansions == 0 {
+			t.Errorf("shard %d claimed %d states but reports zero expansions", r.Shard, r.States)
+		}
+	}
+}

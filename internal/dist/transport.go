@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"time"
+
+	"crystalball/internal/mc"
+	"crystalball/internal/sm"
+)
+
+// The shard-merge round protocol. Every connection carries Msg values; the
+// loopback transport passes them by value, the TCP transport frames the
+// binary encoding below. All connections are shard↔coordinator (star
+// topology): shards never talk to each other directly, so the coordinator
+// sees — and counts — every forwarded batch, which is what makes the
+// credit-counted quiescence check in termination.go exact.
+//
+// Wire form: one frame per message, [uint32 length][kind byte][body], with
+// the body written by the same sm.Encoder that backs state hashing and
+// snapshots — deterministic, so the codec fuzz test can require that
+// encode∘decode∘encode is byte-identical.
+
+// Msg is one protocol message.
+type Msg interface{ kind() byte }
+
+// Protocol message kinds (the wire tag byte).
+const (
+	kindHello      = byte('H')
+	kindSetup      = byte('C')
+	kindRoundStart = byte('S')
+	kindBatch      = byte('B')
+	kindIdle       = byte('I')
+	kindRoundEnd   = byte('E')
+	kindReport     = byte('R')
+	kindShutdown   = byte('Q')
+	kindFault      = byte('X')
+)
+
+// Hello is the first message a shardd worker sends after dialing the
+// coordinator: which shard slot it wants and how many shards it expects.
+type Hello struct {
+	Shard  int
+	Shards int
+}
+
+func (Hello) kind() byte { return kindHello }
+
+// Setup tells a shardd worker which scenario to build and with what
+// overrides, so every shard constructs a bit-identical search configuration
+// from its own scenario registry. In-process runs construct mc.Config
+// directly and never send Setup.
+type Setup struct {
+	Scenario   string
+	Nodes      int
+	Variant    string
+	Fixed      bool
+	Seed       int64
+	Resets     bool
+	ConnBreaks bool
+	Workers    int
+	BatchSize  int
+}
+
+func (Setup) kind() byte { return kindSetup }
+
+// RoundStart fans one round out to a shard with its share of the planned
+// budget (see SplitBudget).
+type RoundStart struct {
+	Round        int
+	Budget       mc.Budget
+	RecordStates bool
+}
+
+func (RoundStart) kind() byte { return kindRoundStart }
+
+// EventDesc is the transport form of one sm.Event: enough identity to
+// re-resolve the event against the enabled set of the state it executed in.
+// The engine's enumeration makes each descriptor unique among enabled
+// events — message deliveries are deduped by (from, to, type), timers are
+// keyed by (node, timer id), app calls by (node, name, argument
+// fingerprint) — so replaying a descriptor path from the root
+// reconstructs exactly the sender's state.
+type EventDesc struct {
+	Kind byte      // 'M' msg, 'T' timer, 'A' app call, 'R' reset, 'E' conn error, 'D' RST drop
+	From sm.NodeID // M, D: sender; E: peer
+	Node sm.NodeID // executing node
+	Name string    // M: message type, T: timer id, A: call name
+	Arg  uint64    // M, A: payload fingerprint (checked at replay)
+}
+
+// DescribeEvent captures ev as a transportable descriptor. enc is scratch
+// for payload fingerprints.
+func DescribeEvent(ev sm.Event, enc *sm.Encoder) EventDesc {
+	switch e := ev.(type) {
+	case sm.MsgEvent:
+		enc.Reset()
+		e.Msg.EncodeMsg(enc)
+		return EventDesc{Kind: 'M', From: e.From, Node: e.To, Name: e.Msg.MsgType(), Arg: enc.Hash()}
+	case sm.TimerEvent:
+		return EventDesc{Kind: 'T', Node: e.At, Name: string(e.Timer)}
+	case sm.AppEvent:
+		enc.Reset()
+		e.Call.EncodeCall(enc)
+		return EventDesc{Kind: 'A', Node: e.At, Name: e.Call.CallName(), Arg: enc.Hash()}
+	case sm.ResetEvent:
+		return EventDesc{Kind: 'R', Node: e.At}
+	case sm.ErrorEvent:
+		return EventDesc{Kind: 'E', Node: e.At, From: e.Peer}
+	default:
+		d := ev.(sm.DropEvent)
+		return EventDesc{Kind: 'D', From: d.From, Node: d.To}
+	}
+}
+
+// matches reports whether ev is the event this descriptor captured,
+// ignoring the payload fingerprint (which the caller verifies separately
+// to distinguish "no such event" from "diverged payload").
+func (d EventDesc) matches(ev sm.Event) bool {
+	switch e := ev.(type) {
+	case sm.MsgEvent:
+		return d.Kind == 'M' && e.From == d.From && e.To == d.Node && e.Msg.MsgType() == d.Name
+	case sm.TimerEvent:
+		return d.Kind == 'T' && e.At == d.Node && string(e.Timer) == d.Name
+	case sm.AppEvent:
+		return d.Kind == 'A' && e.At == d.Node && e.Call.CallName() == d.Name
+	case sm.ResetEvent:
+		return d.Kind == 'R' && e.At == d.Node
+	case sm.ErrorEvent:
+		return d.Kind == 'E' && e.At == d.Node && e.Peer == d.From
+	case sm.DropEvent:
+		return d.Kind == 'D' && e.From == d.From && e.To == d.Node
+	default:
+		return false
+	}
+}
+
+// ForwardState is one successor handed to its owner shard. In process it
+// travels as a pointer into the sender's path tree (node); on the wire it
+// travels as the descriptor path from the root, which the receiver replays.
+// Hash and Depth describe the state either way, so the receiver
+// deduplicates against its visited set before paying for a replay.
+type ForwardState struct {
+	Hash  uint64
+	Depth int32
+	Path  []EventDesc // wire form (nil in-process)
+	node  *node       // in-process form (nil on the wire)
+}
+
+// Batch carries forwarded states from shard From to owner shard To; the
+// coordinator relays it and counts the relay as an outstanding credit
+// against To.
+type Batch struct {
+	From   int
+	To     int
+	States []ForwardState
+}
+
+func (Batch) kind() byte { return kindBatch }
+
+// Idle is a shard's report that it has drained its frontier, flushed its
+// outgoing batches, and has processed Received batches so far this round.
+// The coordinator compares Received against its relay count to that shard:
+// equality means no credit is outstanding (termination.go).
+type Idle struct {
+	Shard    int
+	Received int64
+}
+
+func (Idle) kind() byte { return kindIdle }
+
+// RoundEnd asks a shard for its report; the coordinator sends it only after
+// quiescence, so no batch can still be in flight.
+type RoundEnd struct{}
+
+func (RoundEnd) kind() byte { return kindRoundEnd }
+
+// Violation is one deduplicated property violation found by a shard. The
+// path travels as descriptors; in process the original events ride along so
+// the coordinator can skip the replay.
+type Violation struct {
+	Props     []string
+	Depth     int32
+	StateHash uint64
+	Path      []EventDesc
+	events    []sm.Event // in-process only
+}
+
+// ShardReport is a shard's contribution to the round's merged report.
+// States (the claimed-set size), MaxDepth, Violations, Claimed and Locals
+// are deterministic for a given seed and shard count; Expansions,
+// Transitions and Stats are scheduling telemetry (re-expansion counts vary
+// with arrival order, like the engine's steal counters).
+type ShardReport struct {
+	Shard       int
+	States      int64 // states claimed into the visited set
+	Expansions  int64
+	Transitions int64
+	MaxDepth    int32
+	Exhausted   bool // stopped by budget, not by frontier exhaustion
+	Violations  []Violation
+	Stats       Stats
+	Claimed     []uint64 // sorted fingerprint dump (RecordStates rounds only)
+	Locals      []uint64 // sorted distinct local-state fingerprints
+}
+
+func (ShardReport) kind() byte { return kindReport }
+
+// Shutdown ends the session; the shard exits cleanly.
+type Shutdown struct{}
+
+func (Shutdown) kind() byte { return kindShutdown }
+
+// Fault is a shard-side fatal error surfaced to the coordinator, which
+// aborts the round with it.
+type Fault struct {
+	Shard int
+	Err   string
+}
+
+func (Fault) kind() byte { return kindFault }
+
+// Conn is one side of a shard↔coordinator connection. Send must not block
+// indefinitely on the peer's application logic (the loopback queues are
+// unbounded; the TCP transport pumps every connection with a dedicated
+// reader), which is what keeps batch exchange deadlock-free without
+// windowing. TryRecv lets a shard greedily fold all queued batches into one
+// drain. After Close, Recv drains any queued messages and then fails.
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	TryRecv() (Msg, bool, error)
+	Close() error
+}
+
+// encodeMsg appends m's wire form (kind byte + body) to e.
+func encodeMsg(e *sm.Encoder, m Msg) error {
+	e.Byte(m.kind())
+	switch v := m.(type) {
+	case Hello:
+		e.Int(v.Shard)
+		e.Int(v.Shards)
+	case Setup:
+		e.String(v.Scenario)
+		e.Int(v.Nodes)
+		e.String(v.Variant)
+		e.Bool(v.Fixed)
+		e.Int64(v.Seed)
+		e.Bool(v.Resets)
+		e.Bool(v.ConnBreaks)
+		e.Int(v.Workers)
+		e.Int(v.BatchSize)
+	case RoundStart:
+		e.Int(v.Round)
+		encodeBudget(e, v.Budget)
+		e.Bool(v.RecordStates)
+	case Batch:
+		e.Int(v.From)
+		e.Int(v.To)
+		e.Uint32(uint32(len(v.States)))
+		scratch := sm.NewEncoder()
+		for i := range v.States {
+			if err := encodeForwardState(e, &v.States[i], scratch); err != nil {
+				return err
+			}
+		}
+	case Idle:
+		e.Int(v.Shard)
+		e.Int64(v.Received)
+	case RoundEnd:
+	case ShardReport:
+		e.Int(v.Shard)
+		e.Int64(v.States)
+		e.Int64(v.Expansions)
+		e.Int64(v.Transitions)
+		e.Uint32(uint32(v.MaxDepth))
+		e.Bool(v.Exhausted)
+		e.Uint32(uint32(len(v.Violations)))
+		for i := range v.Violations {
+			encodeViolation(e, &v.Violations[i])
+		}
+		e.Int64(v.Stats.StatesForwarded)
+		e.Int64(v.Stats.StatesReceived)
+		e.Int64(v.Stats.RemoteDeduped)
+		e.Int64(v.Stats.BatchFlushes)
+		encodeHashes(e, v.Claimed)
+		encodeHashes(e, v.Locals)
+	case Shutdown:
+	case Fault:
+		e.Int(v.Shard)
+		e.String(v.Err)
+	default:
+		return errorf("encode: unknown message %T", m)
+	}
+	return nil
+}
+
+// decodeMsg reads one message written by encodeMsg.
+func decodeMsg(d *sm.Decoder) (Msg, error) {
+	kind := d.Byte()
+	var m Msg
+	switch kind {
+	case kindHello:
+		m = Hello{Shard: d.Int(), Shards: d.Int()}
+	case kindSetup:
+		m = Setup{
+			Scenario:   d.String(),
+			Nodes:      d.Int(),
+			Variant:    d.String(),
+			Fixed:      d.Bool(),
+			Seed:       d.Int64(),
+			Resets:     d.Bool(),
+			ConnBreaks: d.Bool(),
+			Workers:    d.Int(),
+			BatchSize:  d.Int(),
+		}
+	case kindRoundStart:
+		m = RoundStart{Round: d.Int(), Budget: decodeBudget(d), RecordStates: d.Bool()}
+	case kindBatch:
+		b := Batch{From: d.Int(), To: d.Int()}
+		n := int(d.Uint32())
+		if d.Err() != nil || n < 0 || n > d.Remaining() {
+			return nil, errorf("decode: bad batch length %d", n)
+		}
+		b.States = make([]ForwardState, n)
+		for i := range b.States {
+			decodeForwardState(d, &b.States[i])
+			// Forwarded states always sit at depth >= 1 (roots are
+			// seeded locally, never forwarded), so a wire form without
+			// a path is corrupt.
+			if b.States[i].Path == nil && d.Err() == nil {
+				return nil, errorf("decode: forwarded state without path")
+			}
+		}
+		m = b
+	case kindIdle:
+		m = Idle{Shard: d.Int(), Received: d.Int64()}
+	case kindRoundEnd:
+		m = RoundEnd{}
+	case kindReport:
+		r := ShardReport{
+			Shard:       d.Int(),
+			States:      d.Int64(),
+			Expansions:  d.Int64(),
+			Transitions: d.Int64(),
+			MaxDepth:    int32(d.Uint32()),
+			Exhausted:   d.Bool(),
+		}
+		n := int(d.Uint32())
+		if d.Err() != nil || n < 0 || n > d.Remaining() {
+			return nil, errorf("decode: bad violation count %d", n)
+		}
+		r.Violations = make([]Violation, n)
+		for i := range r.Violations {
+			decodeViolation(d, &r.Violations[i])
+		}
+		r.Stats = Stats{
+			StatesForwarded: d.Int64(),
+			StatesReceived:  d.Int64(),
+			RemoteDeduped:   d.Int64(),
+			BatchFlushes:    d.Int64(),
+		}
+		r.Claimed = decodeHashes(d)
+		r.Locals = decodeHashes(d)
+		m = r
+	case kindShutdown:
+		m = Shutdown{}
+	case kindFault:
+		m = Fault{Shard: d.Int(), Err: d.String()}
+	default:
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errorf("decode: unknown message kind %q", kind)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBudget(e *sm.Encoder, b mc.Budget) {
+	e.Int(b.States)
+	e.Int(b.Depth)
+	e.Int64(int64(b.Wall))
+	e.Int(b.Violations)
+	e.Int(b.Transitions)
+	e.Int(b.Workers)
+}
+
+func decodeBudget(d *sm.Decoder) mc.Budget {
+	return mc.Budget{
+		States:      d.Int(),
+		Depth:       d.Int(),
+		Wall:        time.Duration(d.Int64()),
+		Violations:  d.Int(),
+		Transitions: d.Int(),
+		Workers:     d.Int(),
+	}
+}
+
+func encodeDesc(e *sm.Encoder, desc *EventDesc) {
+	e.Byte(desc.Kind)
+	e.NodeID(desc.From)
+	e.NodeID(desc.Node)
+	e.String(desc.Name)
+	e.Uint64(desc.Arg)
+}
+
+func decodeDesc(d *sm.Decoder, desc *EventDesc) {
+	desc.Kind = d.Byte()
+	desc.From = d.NodeID()
+	desc.Node = d.NodeID()
+	desc.Name = d.String()
+	desc.Arg = d.Uint64()
+}
+
+func encodeStrings(e *sm.Encoder, ss []string) {
+	e.Uint32(uint32(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+func decodeStrings(d *sm.Decoder) []string {
+	n := int(d.Uint32())
+	if d.Err() != nil || n <= 0 || n > d.Remaining() {
+		return nil
+	}
+	ss := make([]string, n)
+	for i := range ss {
+		ss[i] = d.String()
+	}
+	return ss
+}
+
+func encodeHashes(e *sm.Encoder, hs []uint64) {
+	e.Uint32(uint32(len(hs)))
+	for _, h := range hs {
+		e.Uint64(h)
+	}
+}
+
+func decodeHashes(d *sm.Decoder) []uint64 {
+	n := int(d.Uint32())
+	if d.Err() != nil || n <= 0 || n > d.Remaining()/8 {
+		return nil
+	}
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = d.Uint64()
+	}
+	return hs
+}
+
+func encodeDescPath(e *sm.Encoder, path []EventDesc) {
+	e.Uint32(uint32(len(path)))
+	for i := range path {
+		encodeDesc(e, &path[i])
+	}
+}
+
+func decodeDescPath(d *sm.Decoder) []EventDesc {
+	n := int(d.Uint32())
+	if d.Err() != nil || n <= 0 || n > d.Remaining() {
+		return nil
+	}
+	path := make([]EventDesc, n)
+	for i := range path {
+		decodeDesc(d, &path[i])
+	}
+	return path
+}
+
+// encodeForwardState writes fs, materializing the descriptor path from the
+// in-process node chain if it has not crossed a wire yet. scratch is the
+// payload-fingerprint encoder.
+func encodeForwardState(e *sm.Encoder, fs *ForwardState, scratch *sm.Encoder) error {
+	path := fs.Path
+	if path == nil {
+		if fs.node == nil {
+			return errorf("encode: forwarded state has neither path nor node")
+		}
+		path = fs.node.descPath(scratch)
+	}
+	e.Uint64(fs.Hash)
+	e.Uint32(uint32(fs.Depth))
+	encodeDescPath(e, path)
+	return nil
+}
+
+func decodeForwardState(d *sm.Decoder, fs *ForwardState) {
+	fs.Hash = d.Uint64()
+	fs.Depth = int32(d.Uint32())
+	fs.Path = decodeDescPath(d)
+}
+
+func encodeViolation(e *sm.Encoder, v *Violation) {
+	encodeStrings(e, v.Props)
+	e.Uint32(uint32(v.Depth))
+	e.Uint64(v.StateHash)
+	encodeDescPath(e, v.Path)
+}
+
+func decodeViolation(d *sm.Decoder, v *Violation) {
+	v.Props = decodeStrings(d)
+	v.Depth = int32(d.Uint32())
+	v.StateHash = d.Uint64()
+	v.Path = decodeDescPath(d)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"crystalball/internal/dist"
 	"crystalball/internal/mc"
 	"crystalball/internal/scenario"
 	"crystalball/internal/stats"
@@ -23,6 +24,12 @@ type SweepConfig struct {
 	// off then on, so each cell's coverage gain is visible in adjacent
 	// rows).
 	Reduce []bool
+	// Shards lists the distributed-search shard counts to sweep (nil =
+	// just 1 = the single-process engine). Cells with more than one shard
+	// run the distributed exhaustive search (internal/dist) instead of
+	// consequence prediction — reduction does not apply there, so the
+	// reduce axis collapses for those cells.
+	Shards []int
 	// States is the base per-round state budget every policy plans from
 	// (0 = 4000).
 	States int
@@ -50,6 +57,14 @@ type SweepRow struct {
 	// Pruned aggregates the transitions the checker skipped as provably
 	// redundant (sleep-set hits plus local-state prunes).
 	Pruned int
+	// Shards is the distributed-search shard count (1 = single engine).
+	Shards int
+	// Forwarded/Received/RemoteDeduped/BatchFlushes aggregate the
+	// frontier-exchange counters over rounds (zero for shards = 1).
+	Forwarded     int64
+	Received      int64
+	RemoteDeduped int64
+	BatchFlushes  int64
 	// DistinctLocals counts the distinct node-local states reached,
 	// summed over rounds (each round reports its own distinct set).
 	DistinctLocals int
@@ -88,12 +103,20 @@ func Sweep(cfg SweepConfig) []SweepRow {
 	if cfg.Interval == 0 {
 		cfg.Interval = 10 * time.Second
 	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1}
+	}
 	var rows []SweepRow
 	for _, name := range scenario.Names() {
 		for _, policy := range cfg.Policies {
 			for _, workers := range cfg.Workers {
-				for _, reduce := range cfg.Reduce {
-					rows = append(rows, sweepCell(cfg, name, policy, workers, reduce))
+				for _, shards := range cfg.Shards {
+					for _, reduce := range cfg.Reduce {
+						if shards > 1 && reduce {
+							continue // reduction does not apply to dist cells
+						}
+						rows = append(rows, sweepCell(cfg, name, policy, workers, shards, reduce))
+					}
 				}
 			}
 		}
@@ -101,8 +124,8 @@ func Sweep(cfg SweepConfig) []SweepRow {
 	return rows
 }
 
-func sweepCell(cfg SweepConfig, name, policy string, workers int, reduce bool) SweepRow {
-	row := SweepRow{Scenario: name, Policy: policy, Workers: workers, Reduce: reduce}
+func sweepCell(cfg SweepConfig, name, policy string, workers, shards int, reduce bool) SweepRow {
+	row := SweepRow{Scenario: name, Policy: policy, Workers: workers, Shards: shards, Reduce: reduce}
 	pol := mc.PolicySpec{
 		Kind: policy,
 		Base: mc.Budget{States: cfg.States, Violations: 8, Workers: workers},
@@ -120,18 +143,42 @@ func sweepCell(cfg SweepConfig, name, policy string, workers int, reduce bool) S
 			SnapshotNodes: len(g.Nodes()),
 			Interval:      cfg.Interval,
 		})
-		searchCfg.Mode = mc.Consequence
 		searchCfg.Budget = plan
 		searchCfg.Seed = cfg.Seed + int64(round)
-		searchCfg.Reduce = reduce
-		res := mc.NewSearch(searchCfg).Run(g)
-		pol.Observe(mc.RoundReport{
-			Budget:     plan,
-			States:     res.StatesExplored,
-			Violations: len(res.Violations),
-			Pruned:     res.TransitionsPruned,
-			Elapsed:    res.Elapsed,
-		})
+		var res *mc.Result
+		var report mc.RoundReport
+		if shards > 1 {
+			// Distributed cells run the sharded exhaustive search; the
+			// coordinator's merged round report feeds the policy.
+			searchCfg.Mode = mc.Exhaustive
+			dres, err := dist.Local(dist.LocalConfig{
+				Shards: shards,
+				Search: searchCfg,
+				Root:   g,
+				Budget: plan,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res = &dres.Checker
+			report = dres.Round
+			row.Forwarded += dres.Stats.StatesForwarded
+			row.Received += dres.Stats.StatesReceived
+			row.RemoteDeduped += dres.Stats.RemoteDeduped
+			row.BatchFlushes += dres.Stats.BatchFlushes
+		} else {
+			searchCfg.Mode = mc.Consequence
+			searchCfg.Reduce = reduce
+			res = mc.NewSearch(searchCfg).Run(g)
+			report = mc.RoundReport{
+				Budget:     plan,
+				States:     res.StatesExplored,
+				Violations: len(res.Violations),
+				Pruned:     res.TransitionsPruned,
+				Elapsed:    res.Elapsed,
+			}
+		}
+		pol.Observe(report)
 		for _, v := range res.Violations {
 			distinct[v.Signature()] = true
 		}
@@ -149,17 +196,21 @@ func sweepCell(cfg SweepConfig, name, policy string, workers int, reduce bool) S
 	return row
 }
 
-// FormatSweep renders the matrix as a locals-per-budget coverage table.
+// FormatSweep renders the matrix as a locals-per-budget coverage table;
+// distributed cells (shards > 1) additionally report their frontier-
+// exchange counters.
 func FormatSweep(rows []SweepRow) string {
 	t := stats.Table{
-		Title: "Scenario x workers x policy x reduction sweep (consequence prediction, per-cell rounds with feedback)",
-		Header: []string{"scenario", "policy", "workers", "reduce", "planned-states",
-			"states", "transitions", "pruned", "locals", "locals/1k-budget", "distinct-bugs"},
+		Title: "Scenario x workers x shards x policy x reduction sweep (per-cell rounds with feedback)",
+		Header: []string{"scenario", "policy", "workers", "shards", "reduce", "planned-states",
+			"states", "transitions", "pruned", "fwd", "rcvd", "rdedup", "flushes",
+			"locals", "locals/1k-budget", "distinct-bugs"},
 	}
 	for _, r := range rows {
-		t.Add(r.Scenario, r.Policy, r.Workers, onOff(r.Reduce), r.PlannedStates,
-			r.States, r.Transitions, r.Pruned, r.DistinctLocals,
-			fmt.Sprintf("%.1f", r.Coverage), r.Distinct)
+		t.Add(r.Scenario, r.Policy, r.Workers, r.Shards, onOff(r.Reduce), r.PlannedStates,
+			r.States, r.Transitions, r.Pruned,
+			r.Forwarded, r.Received, r.RemoteDeduped, r.BatchFlushes,
+			r.DistinctLocals, fmt.Sprintf("%.1f", r.Coverage), r.Distinct)
 	}
 	return t.String()
 }

@@ -276,6 +276,9 @@ func (e *engine) run(start *GState) *Result {
 	if e.s.cfg.RecordLocalStates {
 		res.LocalStates = e.locals.dump()
 	}
+	if e.s.cfg.RecordClaimedStates {
+		res.ClaimedStates = e.visited.dump()
+	}
 	// Hash-set entries cost roughly 16 bytes (8-byte key + bucket
 	// overhead amortised); frontier states dominate at shallow depths.
 	res.PeakMemoryBytes = e.ctr.peakBytes.Load() + int64(e.visited.Len()+e.local.Len())*16

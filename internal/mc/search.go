@@ -110,6 +110,11 @@ type Config struct {
 	// sorted set of distinct node-local state hashes it claimed
 	// (Result.LocalStates); differential oracles compare the sets.
 	RecordLocalStates bool
+	// RecordClaimedStates asks the breadth-first engine to return the
+	// sorted set of state fingerprints it claimed into the visited set
+	// (Result.ClaimedStates). The distributed-search differential oracle
+	// compares this set against the union of the shards' claims.
+	RecordClaimedStates bool
 	// LegacyFrontier selects the pre-deque shared-cursor level FIFO.
 	//
 	// Deprecated: benchmark escape hatch only — BenchmarkParallelSearch
@@ -265,6 +270,9 @@ type Result struct {
 	// LocalStates is the sorted distinct local-state hash set, filled
 	// only when Config.RecordLocalStates is set.
 	LocalStates []uint64
+	// ClaimedStates is the sorted visited-set fingerprint dump, filled
+	// only when Config.RecordClaimedStates is set.
+	ClaimedStates []uint64
 	// Workers is the worker-pool size the search ran with.
 	Workers int
 }

@@ -1,0 +1,145 @@
+package scenario_test
+
+import (
+	"reflect"
+	"testing"
+
+	"crystalball/internal/dist"
+	"crystalball/internal/mc"
+	"crystalball/internal/scenario"
+	_ "crystalball/internal/scenario/all"
+)
+
+// distVio is the deterministic core of a distributed violation report:
+// representative paths are scheduling telemetry and excluded.
+type distVio struct {
+	props string
+	depth int
+	hash  uint64
+}
+
+func distVios(vs []mc.Violation) []distVio {
+	out := make([]distVio, len(vs))
+	for i, v := range vs {
+		sig := ""
+		for _, p := range v.Properties {
+			sig += p + "|"
+		}
+		out[i] = distVio{props: sig, depth: v.Depth, hash: v.StateHash}
+	}
+	return out
+}
+
+// TestDistOracleMatrix is the distributed-search differential oracle: for
+// every registered scenario, a depth-bounded distributed exhaustive round
+// must claim the *identical* state set as the single-process engine — at
+// shards 1, 2 and 4, and at any per-shard worker count — along with the
+// identical state count and distinct local-state set. The distributed
+// violation reports (full violated-set semantics, see internal/dist) are
+// additionally pinned to be identical across every shard/worker
+// combination, since they are a pure function of the claimed set.
+func TestDistOracleMatrix(t *testing.T) {
+	depth := map[string]int{
+		"randtree":    5,
+		"chord":       5,
+		"paxos":       4,
+		"bulletprime": 5,
+	}
+	for _, name := range scenario.Names() {
+		name := name
+		d, ok := depth[name]
+		if !ok {
+			d = 4
+		}
+		t.Run(name, func(t *testing.T) {
+			g, cfg, err := scenario.InitialState(name, scenario.Options{Nodes: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Mode = mc.Exhaustive
+			cfg.Seed = 42
+			cfg.Budget = mc.Budget{Depth: d, Workers: 2}
+			cfg.RecordLocalStates = true
+			cfg.RecordClaimedStates = true
+			serial := mc.NewSearch(cfg).Run(g)
+			if serial.StatesExplored == 0 {
+				t.Fatalf("serial search explored no states")
+			}
+
+			var ref *mc.Result
+			for _, shards := range []int{1, 2, 4} {
+				for _, workers := range []int{1, 2} {
+					res, err := dist.Local(dist.LocalConfig{
+						Shards:       shards,
+						Search:       cfg,
+						Root:         g,
+						Budget:       mc.Budget{Depth: d, Workers: workers},
+						RecordStates: true,
+					})
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+					}
+					got := &res.Checker
+					if !reflect.DeepEqual(got.ClaimedStates, serial.ClaimedStates) {
+						t.Errorf("shards=%d workers=%d: claimed-state set diverges from serial engine (%d vs %d states)",
+							shards, workers, len(got.ClaimedStates), len(serial.ClaimedStates))
+					}
+					if got.StatesExplored != serial.StatesExplored {
+						t.Errorf("shards=%d workers=%d: StatesExplored=%d, serial %d",
+							shards, workers, got.StatesExplored, serial.StatesExplored)
+					}
+					if got.MaxDepthReached != serial.MaxDepthReached {
+						t.Errorf("shards=%d workers=%d: MaxDepthReached=%d, serial %d",
+							shards, workers, got.MaxDepthReached, serial.MaxDepthReached)
+					}
+					if got.DistinctLocalStates != serial.DistinctLocalStates {
+						t.Errorf("shards=%d workers=%d: DistinctLocalStates=%d, serial %d",
+							shards, workers, got.DistinctLocalStates, serial.DistinctLocalStates)
+					}
+					if ref == nil {
+						ref = got
+						continue
+					}
+					if !reflect.DeepEqual(distVios(got.Violations), distVios(ref.Violations)) {
+						t.Errorf("shards=%d workers=%d: violation set diverges across shard counts", shards, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistDeterminism pins same-seed reproducibility: two identical
+// distributed runs report identical claimed sets, counts and violations.
+func TestDistDeterminism(t *testing.T) {
+	g, cfg, err := scenario.InitialState("chord", scenario.Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = mc.Exhaustive
+	cfg.Seed = 7
+	run := func() *mc.Result {
+		res, err := dist.Local(dist.LocalConfig{
+			Shards:       3,
+			Search:       cfg,
+			Root:         g,
+			Budget:       mc.Budget{Depth: 5, Workers: 2},
+			RecordStates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &res.Checker
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.ClaimedStates, b.ClaimedStates) {
+		t.Errorf("claimed-state sets differ between identical runs")
+	}
+	if a.StatesExplored != b.StatesExplored || a.MaxDepthReached != b.MaxDepthReached ||
+		a.DistinctLocalStates != b.DistinctLocalStates {
+		t.Errorf("counts differ between identical runs: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(distVios(a.Violations), distVios(b.Violations)) {
+		t.Errorf("violation sets differ between identical runs")
+	}
+}

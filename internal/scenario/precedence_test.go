@@ -14,7 +14,7 @@ import (
 //
 //	spec source   o.PolicySpec  >  sc.CheckerPolicy  >  zero (FixedPolicy)
 //	kind          o.Policy      >  spec.Kind         >  "fixed"
-//	states        o.MCStates    >  spec.Base.States  >  sc.MCStates  >  controller default
+//	states        o.MCStates    >  spec.Base.States  >  controller default
 //	workers       o.Workers     >  spec.Base.Workers >  GOMAXPROCS
 //
 // The scenario under test is a copy of randtree with the policy fields
@@ -24,8 +24,7 @@ func TestPolicyPrecedence(t *testing.T) {
 	cases := []struct {
 		label string
 		// scenario-side declarations
-		scMCStates int
-		scPolicy   mc.PolicySpec
+		scPolicy mc.PolicySpec
 		// deploy options
 		opts scenario.DeployOptions
 		// expectations on the resolved spec
@@ -35,24 +34,16 @@ func TestPolicyPrecedence(t *testing.T) {
 		wantErr     string
 	}{
 		{
-			label:      "legacy scenario MCStates feeds fixed policy",
-			scMCStates: 7000,
-			wantKind:   "",
-			wantStates: 7000,
-		},
-		{
-			label:      "scenario CheckerPolicy beats deprecated MCStates",
-			scMCStates: 7000,
+			label:      "scenario CheckerPolicy states feed the resolved spec",
 			scPolicy:   mc.PolicySpec{Kind: mc.PolicyScaled, Base: mc.Budget{States: 9000}},
 			wantKind:   mc.PolicyScaled,
 			wantStates: 9000,
 		},
 		{
-			label:      "scenario CheckerPolicy without states falls back to MCStates",
-			scMCStates: 7000,
+			label:      "scenario CheckerPolicy without states leaves the controller default",
 			scPolicy:   mc.PolicySpec{Kind: mc.PolicyAdaptive},
 			wantKind:   mc.PolicyAdaptive,
-			wantStates: 7000,
+			wantStates: 0,
 		},
 		{
 			label:      "DeployOptions.MCStates beats scenario spec states",
@@ -69,9 +60,8 @@ func TestPolicyPrecedence(t *testing.T) {
 			wantStates: 9000,
 		},
 		{
-			label:      "DeployOptions.PolicySpec replaces the scenario spec wholesale",
-			scMCStates: 7000,
-			scPolicy:   mc.PolicySpec{Kind: mc.PolicyScaled, Base: mc.Budget{States: 9000, Workers: 3}},
+			label:    "DeployOptions.PolicySpec replaces the scenario spec wholesale",
+			scPolicy: mc.PolicySpec{Kind: mc.PolicyScaled, Base: mc.Budget{States: 9000, Workers: 3}},
 			opts: scenario.DeployOptions{PolicySpec: &mc.PolicySpec{
 				Kind: mc.PolicyAdaptive, Base: mc.Budget{States: 400},
 			}},
@@ -134,7 +124,6 @@ func TestPolicyPrecedence(t *testing.T) {
 		tc := tc
 		t.Run(tc.label, func(t *testing.T) {
 			sc := *scenario.MustLookup("randtree")
-			sc.MCStates = tc.scMCStates
 			sc.CheckerPolicy = tc.scPolicy
 			opts := tc.opts
 			opts.Control = scenario.Debug

@@ -137,16 +137,9 @@ type Scenario struct {
 	// CheckerPolicy declares the per-round exploration budget policy for
 	// live controllers: the kind ("fixed", "scaled", "adaptive") plus
 	// the base budget and tuning. The zero value means a FixedPolicy
-	// over the MCStates shim below (or the controller default). See
-	// resolvePolicySpec for how DeployOptions override it.
+	// over the controller default budget. See resolvePolicySpec for how
+	// DeployOptions override it.
 	CheckerPolicy mc.PolicySpec
-
-	// MCStates is the suggested per-round consequence-prediction state
-	// budget for live controllers (0 = controller default).
-	//
-	// Deprecated: declare CheckerPolicy instead; MCStates seeds
-	// CheckerPolicy.Base.States only where that is zero.
-	MCStates int
 
 	// Join returns a fresh application call that makes a node enter the
 	// workload; nil when the scenario has no join call (paxos, Bullet').
@@ -307,14 +300,12 @@ func (sc *Scenario) ControllerConfig(o DeployOptions) (controller.Config, error)
 //
 //	spec source   o.PolicySpec  >  sc.CheckerPolicy  >  zero (FixedPolicy)
 //	kind          o.Policy      >  spec.Kind         >  "fixed"
-//	states        o.MCStates    >  spec.Base.States  >  sc.MCStates  >  controller default
+//	states        o.MCStates    >  spec.Base.States  >  controller default
 //	workers       o.Workers     >  spec.Base.Workers >  GOMAXPROCS
 //
 // All other spec fields (depth, wall, violations, adaptive/scaled tuning)
 // come from the winning spec source; unset values fall to the controller
-// defaults (Config.policySpec). The deprecated sc.MCStates scalar feeds the
-// states fallback only — it never overrides a CheckerPolicy that sets its
-// own Base.States. TestPolicyPrecedence pins this table.
+// defaults (Config.policySpec). TestPolicyPrecedence pins this table.
 func (sc *Scenario) resolvePolicySpec(o DeployOptions) (mc.PolicySpec, error) {
 	spec := sc.CheckerPolicy
 	if o.PolicySpec != nil {
@@ -322,9 +313,6 @@ func (sc *Scenario) resolvePolicySpec(o DeployOptions) (mc.PolicySpec, error) {
 	}
 	if o.Policy != "" {
 		spec.Kind = o.Policy
-	}
-	if spec.Base.States == 0 {
-		spec.Base.States = sc.MCStates
 	}
 	if o.MCStates > 0 {
 		spec.Base.States = o.MCStates

@@ -3,6 +3,7 @@ package bulletprime
 import (
 	"fmt"
 
+	"crystalball/internal/mc"
 	"crystalball/internal/scenario"
 	"crystalball/internal/sm"
 )
@@ -39,6 +40,9 @@ func init() {
 		Live:       scenario.Tuning{Nodes: 8, Blocks: 32, BlockSize: 64 << 10},
 		Faults:     scenario.Faults{ExploreResets: true},
 		Reduction:  true,
-		MCStates:   6000,
+		CheckerPolicy: mc.PolicySpec{
+			Kind: mc.PolicyFixed,
+			Base: mc.Budget{States: 6000},
+		},
 	})
 }

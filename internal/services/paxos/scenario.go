@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 
+	"crystalball/internal/mc"
 	"crystalball/internal/scenario"
 	"crystalball/internal/sm"
 )
@@ -35,6 +36,9 @@ func init() {
 		// checker explores node resets.
 		Faults:    scenario.Faults{ExploreResets: true},
 		Reduction: true,
-		MCStates:  15000,
+		CheckerPolicy: mc.PolicySpec{
+			Kind: mc.PolicyFixed,
+			Base: mc.Budget{States: 15000},
+		},
 	})
 }

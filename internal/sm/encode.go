@@ -127,6 +127,9 @@ func (e *Encoder) Bool(v bool) {
 // Float64 appends the IEEE-754 bits of v.
 func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
 
+// Byte appends a single raw byte (tag bytes in framed encodings).
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
 // NodeID appends a node identifier.
 func (e *Encoder) NodeID(n NodeID) { e.Uint32(uint32(n)) }
 
@@ -233,6 +236,15 @@ func (d *Decoder) Bool() bool {
 
 // Float64 reads an IEEE-754 float.
 func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Byte reads a single raw byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
 
 // NodeID reads a node identifier.
 func (d *Decoder) NodeID() NodeID { return NodeID(d.Uint32()) }

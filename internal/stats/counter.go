@@ -1,0 +1,30 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is an atomic telemetry counter shared across worker goroutines —
+// the distributed search's per-shard expansion counters use it where the
+// in-process engine uses its private counters struct.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds delta and returns the new value.
+func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store sets the value (round resets).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
+// Max raises the value to v if v is larger (CAS-max).
+func (c *Counter) Max(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

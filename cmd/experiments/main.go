@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"crystalball/internal/dist"
 	"crystalball/internal/experiments"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "sweep: planning rounds per cell (0 = 3)")
 		reduce   = flag.String("reduce", "", "sweep: restrict the partial-order-reduction axis (on|off; empty = sweep both)")
 		shards   = flag.Int("shards", 0, "sweep: add a distributed-search axis at this shard count (0 = single engine only)")
+		faults   = flag.String("faults", "", "sweep: fault-plan spec injected into distributed cells (see mcheck -faults)")
 	)
 	flag.Parse()
 
@@ -78,7 +80,11 @@ func main() {
 			cfg := experiments.Fig17Config{Seed: *seed, Nodes: *nodes, Deadline: *duration, Workers: *workers, Policy: *policy}
 			fmt.Print(experiments.FormatFig17(experiments.Fig17Bullet(cfg)))
 		case "sweep":
-			cfg := experiments.SweepConfig{Seed: *seed, States: *states, Rounds: *rounds}
+			if _, err := dist.ParseFaultPlan(*faults); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+				os.Exit(2)
+			}
+			cfg := experiments.SweepConfig{Seed: *seed, States: *states, Rounds: *rounds, Faults: *faults}
 			if *workers > 0 {
 				cfg.Workers = []int{*workers}
 			}

@@ -66,6 +66,7 @@ func main() {
 		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants")
 		shards     = flag.Int("shards", 0, "distributed in-process search with this many shards (0 = single engine; exhaustive mode only)")
 		batchSize  = flag.Int("batch", 0, "forwarded-state batch size for -shards (0 = default)")
+		faults     = flag.String("faults", "", "fault-plan spec for -shards, e.g. 'kill@s1r1m2, send:drop@s0~0.01' (ops: kill|sever|drop|dup|corrupt|delayN)")
 	)
 	flag.Parse()
 
@@ -141,9 +142,15 @@ func main() {
 
 	var res *mc.Result
 	var dstats dist.Stats
+	var drec dist.RecoveryStats
 	if *shards > 0 {
 		if m != mc.Exhaustive {
 			fmt.Fprintln(os.Stderr, "-shards requires -mode exhaustive")
+			os.Exit(2)
+		}
+		plan, err := dist.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
 			os.Exit(2)
 		}
 		dres, err := dist.Local(dist.LocalConfig{
@@ -152,6 +159,7 @@ func main() {
 			Root:      g,
 			Budget:    cfg.Budget,
 			BatchSize: *batchSize,
+			Faults:    plan,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -159,6 +167,10 @@ func main() {
 		}
 		res = &dres.Checker
 		dstats = dres.Stats
+		drec = dres.Recovery
+	} else if *faults != "" {
+		fmt.Fprintln(os.Stderr, "-faults requires -shards")
+		os.Exit(2)
 	} else {
 		res = mc.NewSearch(cfg).Run(g)
 	}
@@ -177,6 +189,9 @@ func main() {
 	if *shards > 0 {
 		fmt.Printf("shards=%d forwarded=%d received=%d remote-deduped=%d batch-flushes=%d\n",
 			*shards, dstats.StatesForwarded, dstats.StatesReceived, dstats.RemoteDeduped, dstats.BatchFlushes)
+		if drec.Retries > 0 || len(drec.Deaths) > 0 || drec.SerialFallback {
+			fmt.Printf("recovery: %s\n", drec.String())
+		}
 	}
 	if len(res.Violations) == 0 {
 		fmt.Println("no violations found")

@@ -9,6 +9,17 @@
 // its own registry using the Setup fields, so all shards search from a
 // bit-identical configuration.
 //
+// Fault tolerance: every connection runs heartbeats and read/write
+// deadlines (-peer-timeout), so a dead worker is detected within the
+// timeout instead of hanging the round; the coordinator then aborts,
+// repartitions over the survivors and retries (internal/dist). Workers
+// dial with capped jittered backoff until -connect-timeout, and a worker
+// that loses its coordinator connection mid-session redials and
+// re-handshakes; the coordinator keeps accepting in the background and
+// adopts rejoined workers at the next retry boundary. -faults installs a
+// deterministic fault-injection plan (see internal/dist/faults.go for the
+// spec grammar) for chaos testing.
+//
 // Usage:
 //
 //	shardd -listen :7070 -shards 2 -service chord -nodes 3 -maxdepth 6
@@ -22,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"time"
@@ -34,30 +46,53 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("listen", "", "coordinator mode: listen address (e.g. :7070)")
-		connect    = flag.String("connect", "", "worker mode: coordinator address")
-		shard      = flag.Int("shard", 0, "worker mode: this worker's shard slot")
-		shards     = flag.Int("shards", 2, "total shard count")
-		service    = flag.String("service", "randtree", "scenario to check (coordinator)")
-		variant    = flag.String("variant", "", "scenario variant (coordinator)")
-		nodes      = flag.Int("nodes", 5, "number of nodes in the initial state (coordinator)")
-		fixed      = flag.Bool("fixed", false, "check the bug-fixed service variants (coordinator)")
-		seed       = flag.Int64("seed", 1, "random seed (coordinator)")
-		resets     = flag.Bool("resets", true, "explore node resets (coordinator)")
-		connBreaks = flag.Bool("connbreaks", false, "explore connection breaks (coordinator)")
-		maxDepth   = flag.Int("maxdepth", 0, "depth bound (0 = unbounded)")
-		maxStates  = flag.Int("states", 500000, "state budget across all shards")
-		maxWall    = flag.Duration("wall", time.Minute, "wall-clock budget")
-		maxViol    = flag.Int("violations", 3, "per-shard violation quota")
-		workers    = flag.Int("workers", 1, "expansion workers per shard")
-		batchSize  = flag.Int("batch", 0, "forwarded-state batch size (0 = default)")
+		listen      = flag.String("listen", "", "coordinator mode: listen address (e.g. :7070)")
+		connect     = flag.String("connect", "", "worker mode: coordinator address")
+		shard       = flag.Int("shard", 0, "worker mode: this worker's shard slot")
+		shards      = flag.Int("shards", 2, "total shard count")
+		service     = flag.String("service", "randtree", "scenario to check (coordinator)")
+		variant     = flag.String("variant", "", "scenario variant (coordinator)")
+		nodes       = flag.Int("nodes", 5, "number of nodes in the initial state (coordinator)")
+		fixed       = flag.Bool("fixed", false, "check the bug-fixed service variants (coordinator)")
+		seed        = flag.Int64("seed", 1, "random seed (coordinator)")
+		resets      = flag.Bool("resets", true, "explore node resets (coordinator)")
+		connBreaks  = flag.Bool("connbreaks", false, "explore connection breaks (coordinator)")
+		maxDepth    = flag.Int("maxdepth", 0, "depth bound (0 = unbounded)")
+		maxStates   = flag.Int("states", 500000, "state budget across all shards")
+		maxWall     = flag.Duration("wall", time.Minute, "wall-clock budget")
+		maxViol     = flag.Int("violations", 3, "per-shard violation quota")
+		workers     = flag.Int("workers", 1, "expansion workers per shard")
+		batchSize   = flag.Int("batch", 0, "forwarded-state batch size (0 = default)")
+		peerTimeout = flag.Duration("peer-timeout", dist.DefaultPeerTimeout, "declare a silent TCP peer dead after this long (negative disables)")
+		connTimeout = flag.Duration("connect-timeout", 30*time.Second, "worker mode: give up dialing the coordinator after this long")
+		maxRetries  = flag.Int("retries", dist.DefaultMaxRetries, "coordinator mode: round retries after shard deaths (negative = never retry)")
+		stall       = flag.Duration("stall", time.Minute, "coordinator mode: declare unresponsive shards dead after this much protocol silence (0 disables)")
+		faultSpec   = flag.String("faults", "", "deterministic fault-injection plan (see internal/dist/faults.go)")
 	)
 	flag.Parse()
+
+	var faults *dist.FaultPlan
+	if *faultSpec != "" {
+		var err error
+		faults, err = dist.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	topt := dist.TCPOptions{PeerTimeout: *peerTimeout}
 
 	var err error
 	switch {
 	case *listen != "" && *connect == "":
-		err = coordinate(*listen, *shards, dist.Setup{
+		err = coordinate(coordOpts{
+			addr:       *listen,
+			shards:     *shards,
+			tcp:        topt,
+			faults:     faults,
+			maxRetries: *maxRetries,
+			stall:      *stall,
+		}, dist.Setup{
 			Scenario:   *service,
 			Nodes:      *nodes,
 			Variant:    *variant,
@@ -75,7 +110,14 @@ func main() {
 			Workers:    *workers,
 		})
 	case *connect != "" && *listen == "":
-		err = work(*connect, *shard, *shards)
+		err = work(workOpts{
+			addr:        *connect,
+			shard:       *shard,
+			shards:      *shards,
+			tcp:         topt,
+			faults:      faults,
+			connTimeout: *connTimeout,
+		})
 	default:
 		err = fmt.Errorf("exactly one of -listen (coordinator) or -connect (worker) is required")
 	}
@@ -104,65 +146,126 @@ func buildScenario(su dist.Setup) (*mc.GState, mc.Config, error) {
 	return g, cfg, nil
 }
 
-func coordinate(addr string, shards int, su dist.Setup, budget mc.Budget) error {
-	if shards <= 0 {
+type coordOpts struct {
+	addr       string
+	shards     int
+	tcp        dist.TCPOptions
+	faults     *dist.FaultPlan
+	maxRetries int
+	stall      time.Duration
+}
+
+func coordinate(o coordOpts, su dist.Setup, budget mc.Budget) error {
+	if o.shards <= 0 {
 		return fmt.Errorf("-shards must be positive")
 	}
-	// Validate the scenario locally before any worker connects, and keep
-	// the probe around for violation-path replay in the merge.
+	// Validate the scenario locally before any worker connects. The probe
+	// doubles as the merge's violation-replay engine and as the serial
+	// fallback should every worker die.
 	g, cfg, err := buildScenario(su)
 	if err != nil {
 		return err
 	}
 	probe := mc.NewSearch(cfg)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("coordinator: waiting for %d workers on %s\n", shards, ln.Addr())
+	fmt.Printf("coordinator: waiting for %d workers on %s\n", o.shards, ln.Addr())
 
-	conns := make([]dist.Conn, shards)
-	for joined := 0; joined < shards; {
+	handshake := func(nc net.Conn) (dist.Conn, int, error) {
+		conn := dist.WrapTCP(nc, o.tcp)
+		m, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return nil, 0, fmt.Errorf("worker handshake: %w", err)
+		}
+		h, ok := m.(dist.Hello)
+		if !ok || h.Shard < 0 || h.Shard >= o.shards || h.Shards != o.shards {
+			conn.Close()
+			return nil, 0, fmt.Errorf("bad worker hello %+v (want a slot in 0..%d)", m, o.shards-1)
+		}
+		if err := conn.Send(su); err != nil {
+			conn.Close()
+			return nil, 0, fmt.Errorf("worker %d setup: %w", h.Shard, err)
+		}
+		return conn, h.Shard, nil
+	}
+
+	conns := make([]dist.Conn, o.shards)
+	for joined := 0; joined < o.shards; {
 		nc, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		conn := dist.WrapTCP(nc)
-		m, err := conn.Recv()
+		conn, id, err := handshake(nc)
 		if err != nil {
-			conn.Close()
-			return fmt.Errorf("worker handshake: %w", err)
+			fmt.Fprintf(os.Stderr, "coordinator: %v\n", err)
+			continue
 		}
-		h, ok := m.(dist.Hello)
-		if !ok || h.Shard < 0 || h.Shard >= shards || h.Shards != shards || conns[h.Shard] != nil {
+		if conns[id] != nil {
 			conn.Close()
-			return fmt.Errorf("bad worker hello %+v (want a free slot in 0..%d)", m, shards-1)
+			fmt.Fprintf(os.Stderr, "coordinator: duplicate hello for slot %d\n", id)
+			continue
 		}
-		if err := conn.Send(su); err != nil {
-			conn.Close()
-			return fmt.Errorf("worker %d setup: %w", h.Shard, err)
+		if o.faults != nil {
+			conn = o.faults.Wrap(id, conn)
 		}
-		conns[h.Shard] = conn
+		conns[id] = conn
 		joined++
-		fmt.Printf("coordinator: worker %d joined (%d/%d)\n", h.Shard, joined, shards)
+		fmt.Printf("coordinator: worker %d joined (%d/%d)\n", id, joined, o.shards)
 	}
 
-	coord := dist.NewCoordinator(conns, dist.CoordinatorConfig{Search: probe, Root: g})
+	coord := dist.NewCoordinator(conns, dist.CoordinatorConfig{
+		Search:       probe,
+		Root:         g,
+		MaxRetries:   o.maxRetries,
+		StallTimeout: o.stall,
+	})
 	defer coord.Shutdown()
+
+	// Keep accepting: a worker that died and came back re-handshakes here
+	// and is adopted at the coordinator's next retry boundary.
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				conn, id, err := handshake(nc)
+				if err != nil {
+					return
+				}
+				if o.faults != nil {
+					conn = o.faults.Wrap(id, conn)
+				}
+				if err := coord.Rejoin(id, conn); err != nil {
+					conn.Close()
+					return
+				}
+				fmt.Printf("coordinator: worker %d rejoined\n", id)
+			}(nc)
+		}
+	}()
+
 	res, err := coord.RunRound(budget, false)
 	if err != nil {
 		return err
 	}
 
 	r := &res.Checker
-	fmt.Printf("service=%s nodes=%d shards=%d workers/shard=%d\n", su.Scenario, su.Nodes, shards, budget.Workers)
+	fmt.Printf("service=%s nodes=%d shards=%d workers/shard=%d\n", su.Scenario, su.Nodes, o.shards, budget.Workers)
 	fmt.Printf("states=%d transitions=%d depth=%d elapsed=%v states/sec=%.0f\n",
 		r.StatesExplored, r.Transitions, r.MaxDepthReached, r.Elapsed.Round(time.Millisecond),
 		float64(r.StatesExplored)/r.Elapsed.Seconds())
 	fmt.Printf("forwarded=%d received=%d remote-deduped=%d batch-flushes=%d\n",
 		res.Stats.StatesForwarded, res.Stats.StatesReceived, res.Stats.RemoteDeduped, res.Stats.BatchFlushes)
+	if res.Recovery.Retries > 0 || len(res.Recovery.Deaths) > 0 || res.Recovery.SerialFallback {
+		fmt.Printf("recovery: %s\n", res.Recovery)
+	}
 	if len(r.Violations) == 0 {
 		fmt.Println("no violations found")
 		return nil
@@ -176,13 +279,47 @@ func coordinate(addr string, shards int, su dist.Setup, budget mc.Budget) error 
 	return nil
 }
 
-func work(addr string, shard, shards int) error {
-	conn, err := dist.DialTCP(addr)
-	if err != nil {
-		return err
+type workOpts struct {
+	addr        string
+	shard       int
+	shards      int
+	tcp         dist.TCPOptions
+	faults      *dist.FaultPlan
+	connTimeout time.Duration
+}
+
+// dialRetry dials the coordinator with capped jittered exponential backoff
+// until it connects or connTimeout elapses.
+func dialRetry(o workOpts) (dist.Conn, error) {
+	deadline := time.Now().Add(o.connTimeout)
+	backoff := 100 * time.Millisecond
+	for {
+		conn, err := dist.DialTCP(o.addr, o.tcp)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: gave up after %v: %w", o.addr, o.connTimeout, err)
+		}
+		// Full jitter keeps a herd of restarting workers from thundering.
+		//crystal:allow(globalrand) reconnect jitter exists to desynchronize worker processes; a seeded per-worker stream would defeat it
+		sleep := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+		fmt.Fprintf(os.Stderr, "worker %d: dial %s failed (%v), retrying in %v\n", o.shard, o.addr, err, sleep.Round(time.Millisecond))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
 	}
+}
+
+// session handshakes on an established connection and serves shard rounds
+// until the connection ends.
+func session(o workOpts, conn dist.Conn) error {
 	defer conn.Close()
-	if err := conn.Send(dist.Hello{Shard: shard, Shards: shards}); err != nil {
+	if o.faults != nil {
+		conn = o.faults.Wrap(o.shard, conn)
+	}
+	if err := conn.Send(dist.Hello{Shard: o.shard, Shards: o.shards}); err != nil {
 		return err
 	}
 	m, err := conn.Recv()
@@ -197,17 +334,32 @@ func work(addr string, shard, shards int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worker %d/%d: searching %s\n", shard, shards, su.Scenario)
-	err = dist.RunShard(conn, dist.ShardConfig{
-		Index:     shard,
-		Shards:    shards,
+	fmt.Printf("worker %d/%d: searching %s\n", o.shard, o.shards, su.Scenario)
+	return dist.RunShard(conn, dist.ShardConfig{
+		Index:     o.shard,
+		Shards:    o.shards,
 		Search:    cfg,
 		Root:      g,
 		BatchSize: su.BatchSize,
 	})
-	if err == dist.ErrClosed || err == nil {
-		fmt.Printf("worker %d: done\n", shard)
-		return nil
+}
+
+func work(o workOpts) error {
+	for {
+		conn, err := dialRetry(o)
+		if err != nil {
+			return err
+		}
+		err = session(o, conn)
+		if err == dist.ErrClosed || err == nil {
+			fmt.Printf("worker %d: done\n", o.shard)
+			return nil
+		}
+		// Anything else — coordinator death, severed link, a fault that
+		// got this shard expelled — is worth reconnecting over: the
+		// coordinator may still be running the session and will adopt us
+		// back at its next retry boundary. dialRetry's -connect-timeout
+		// bounds how long a gone coordinator keeps us looping.
+		fmt.Fprintf(os.Stderr, "worker %d: session ended: %v; reconnecting\n", o.shard, err)
 	}
-	return err
 }

@@ -125,6 +125,15 @@ type Config struct {
 	MaxStoredPaths int
 	// Seed drives checker determinism.
 	Seed int64
+	// CheckRound, if set, replaces the embedded consequence-prediction
+	// engine for the full per-round run (the filter-safety recheck and
+	// path replay still use the embedded engine). It exists so the round
+	// can *fail*: the paper runs the checker as a separate process, and a
+	// separate process can crash, wedge, or time out. A nil error with a
+	// nil result counts as a failure too. When a round fails, the
+	// controller degrades to conservative mode — see Stats — instead of
+	// blocking the snapshot loop or dropping its installed filters.
+	CheckRound func(mc.Config, *mc.GState) (*mc.Result, error)
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -219,6 +228,19 @@ type Stats struct {
 	Steals            int64
 	StealFails        int64
 	MCVirtualTime     time.Duration
+	// CheckerFailures counts checker rounds that returned an error (a
+	// crashed/timed-out checker process in the paper's deployment). Each
+	// failure flips the controller into conservative mode: the filters
+	// installed by the last successful round stay in place — steering on
+	// stale but vetted predictions — rather than expiring on the paper's
+	// "after every model checking run" schedule, because the run never
+	// completed. The next successful round clears and re-derives them as
+	// usual.
+	CheckerFailures int64
+	// ConservativeRounds counts rounds the controller spent in
+	// conservative mode (the failing round and every subsequent round
+	// until a checker run succeeds again).
+	ConservativeRounds int64
 	// LastBudget is the budget the policy planned for the most recent
 	// (non-skipped) round.
 	LastBudget mc.Budget
@@ -242,6 +264,9 @@ type Controller struct {
 	paths    []Finding // stored error paths for replay (with filters)
 	busy     bool
 	lastHash uint64 // hash of the last fully-searched snapshot
+	// conservative is set while the node is coasting on the previous
+	// round's filters after a checker failure (Stats.CheckerFailures).
+	conservative bool
 
 	// OnViolation, if set, is called when a report with violations is
 	// processed (used by experiments to observe prediction timing).
@@ -285,6 +310,11 @@ func (c *Controller) Findings() []Finding { return c.findings }
 
 // LastView returns the most recent decoded neighborhood snapshot.
 func (c *Controller) LastView() *props.View { return c.lastView }
+
+// Conservative reports whether the controller is currently degraded to
+// conservative mode: its last checker round failed, so it is steering on
+// the filters of the last successful round instead of fresh predictions.
+func (c *Controller) Conservative() bool { return c.conservative }
 
 // Start begins periodic snapshot + model-checking rounds.
 func (c *Controller) Start() { c.scheduleRound(c.cfg.SnapshotInterval) }
@@ -334,6 +364,11 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	// neither plans nor observes a skipped round: nothing is explored,
 	// so Plan calls correspond 1:1 with rounds that actually search.
 	if h := start.Hash(); h == c.lastHash {
+		if c.conservative {
+			// A skipped run also leaves the stale filters in place, so
+			// the coasting continues to be counted.
+			c.Stats.ConservativeRounds++
+		}
 		c.busy = false
 		c.scheduleRound(c.cfg.SnapshotInterval)
 		return
@@ -362,6 +397,31 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 		Reduce:            c.cfg.Reduce,
 		Seed:              c.cfg.Seed,
 	}
+
+	// The full consequence-prediction run executes synchronously here, in
+	// host time, *before* any filter-expiry scheduling — the run consumes
+	// no virtual time itself (its report is delivered after the virtual
+	// latency below), so the reorder is invisible to the simulation, but
+	// it means a failed run can return without touching the installed
+	// filters. The paper expires filters "after every model checking
+	// run"; a run that errored never completed, so the node degrades to
+	// conservative mode — keeping the last successful round's filters —
+	// rather than dropping its protection or blocking the snapshot loop.
+	res, cerr := c.checkRound(searchCfg, start)
+	if cerr == nil && res == nil {
+		cerr = fmt.Errorf("checker returned no report")
+	}
+	if cerr != nil {
+		c.Stats.CheckerFailures++
+		c.Stats.ConservativeRounds++
+		c.conservative = true
+		// lastHash stays at the last *successful* search, so the next
+		// snapshot is re-checked even if the state did not move.
+		c.busy = false
+		c.scheduleRound(c.cfg.SnapshotInterval)
+		return
+	}
+	c.conservative = false
 
 	// Step 1 (paper, "Rechecking Previously Discovered Violations"): the
 	// first thing the checker does is replay stored error paths; filters
@@ -394,10 +454,9 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 
 	c.lastHash = start.Hash()
 
-	// Step 2: the full consequence-prediction run. The search executes
-	// synchronously here but its report is delivered after the virtual
-	// model-checking latency, reproducing the checker/system race.
-	res := mc.NewSearch(searchCfg).Run(start)
+	// Step 2: account the full run. The search already executed above but
+	// its report is delivered only after the virtual model-checking
+	// latency, reproducing the checker/system race.
 	c.Stats.StatesExplored += int64(res.StatesExplored)
 	c.observeCounters(res)
 	mcLatency := replayLatency + time.Duration(res.StatesExplored)*c.cfg.PerStateCost
@@ -506,6 +565,15 @@ func (c *Controller) correctiveFilter(path []sm.Event) (sm.Filter, bool) {
 		}
 	}
 	return sm.Filter{}, false
+}
+
+// checkRound runs one full consequence-prediction round through the
+// configured seam, defaulting to the embedded engine (which cannot fail).
+func (c *Controller) checkRound(cfg mc.Config, start *mc.GState) (*mc.Result, error) {
+	if c.cfg.CheckRound != nil {
+		return c.cfg.CheckRound(cfg, start)
+	}
+	return mc.NewSearch(cfg).Run(start), nil
 }
 
 // filterIsSafe re-runs consequence prediction with the candidate filter's

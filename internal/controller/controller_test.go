@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"crystalball/internal/mc"
 	"crystalball/internal/props"
 	"crystalball/internal/runtime"
 	"crystalball/internal/sim"
@@ -202,6 +204,73 @@ func TestISCWiredThroughController(t *testing.T) {
 	}
 	if got := n2.Service().(*testsvc.Svc).N; got != 0 {
 		t.Fatalf("ISC failed to protect node 2: N=%d", got)
+	}
+}
+
+// TestCheckerFailureDegradesConservative pins the robustness contract for
+// the checker seam: while checker rounds fail, the controller degrades to
+// conservative mode — it keeps the filters of the last successful round
+// installed (instead of expiring them on the usual per-run schedule),
+// counts the failures, and keeps its snapshot loop running — and when the
+// checker succeeds again it recovers to normal operation.
+func TestCheckerFailureDegradesConservative(t *testing.T) {
+	cfg := debugCfg(2)
+	cfg.Mode = ExecutionSteering
+	cfg.CheckFilterSafety = false
+	fail := false
+	cfg.CheckRound = func(mcfg mc.Config, start *mc.GState) (*mc.Result, error) {
+		if fail {
+			return nil, errors.New("checker process crashed")
+		}
+		return mc.NewSearch(mcfg).Run(start), nil
+	}
+	s, ctrls := deployWithController(t, 2, cfg)
+
+	// Healthy until 10 s (filters get installed), failing 10 s - 22 s,
+	// healthy again afterwards. Rounds run every 2 s.
+	s.After(10*time.Second, func() { fail = true })
+	type probe struct {
+		conservative bool
+		filters      int
+		rounds       int64
+	}
+	var during []probe
+	s.After(21*time.Second, func() {
+		for _, c := range ctrls {
+			during = append(during, probe{c.Conservative(), len(c.Node().Filters()), c.Stats.Rounds})
+		}
+	})
+	s.After(22*time.Second, func() { fail = false })
+	s.RunFor(34 * time.Second)
+
+	if len(during) != len(ctrls) {
+		t.Fatalf("probe captured %d controllers, want %d", len(during), len(ctrls))
+	}
+	filtersDuring := 0
+	for i, p := range during {
+		if !p.conservative {
+			t.Errorf("controller %d not conservative during the failure window", i)
+		}
+		filtersDuring += p.filters
+	}
+	if filtersDuring == 0 {
+		t.Errorf("conservative mode kept no filters installed")
+	}
+	for i, c := range ctrls {
+		if c.Stats.CheckerFailures == 0 {
+			t.Errorf("controller %d recorded no checker failures", i)
+		}
+		if c.Stats.ConservativeRounds < c.Stats.CheckerFailures {
+			t.Errorf("controller %d: ConservativeRounds=%d < CheckerFailures=%d",
+				i, c.Stats.ConservativeRounds, c.Stats.CheckerFailures)
+		}
+		if c.Conservative() {
+			t.Errorf("controller %d still conservative after the checker recovered", i)
+		}
+		if c.Stats.Rounds <= during[i].rounds {
+			t.Errorf("controller %d: snapshot loop stalled after the failure window (%d rounds, %d during)",
+				i, c.Stats.Rounds, during[i].rounds)
+		}
 	}
 }
 

@@ -28,7 +28,7 @@ func sampleMsgs() []Msg {
 			Seed: -3, Resets: true, ConnBreaks: true, Workers: 2, BatchSize: 64,
 		},
 		RoundStart{
-			Round: 3,
+			Round: 3, Slot: 1, Slots: 4,
 			Budget: mc.Budget{
 				States: 1000, Depth: 12, Wall: 5 * time.Second,
 				Violations: 8, Transitions: 9000, Workers: 2,
@@ -53,6 +53,47 @@ func sampleMsgs() []Msg {
 		},
 		Shutdown{},
 		Fault{Shard: 3, Err: "boom"},
+		Ping{},
+		RoundAbort{Round: 2},
+		AbortAck{Shard: 1, Round: 2},
+	}
+}
+
+// TestDecodeRejectsInvalid pins that the decoder refuses structurally valid
+// frames carrying out-of-range fields — loudly, not by truncating or
+// clamping. (The fuzz harness found silent acceptance here once; these are
+// the distilled regressions.)
+func TestDecodeRejectsInvalid(t *testing.T) {
+	bad := []Msg{
+		Hello{Shard: -1, Shards: 4},
+		Hello{Shard: 4, Shards: 4},
+		Hello{Shard: 0, Shards: maxShards + 1},
+		Setup{Scenario: "chord", Nodes: -1},
+		Setup{Scenario: "chord", Workers: -2},
+		RoundStart{Round: 0, Slot: 0, Slots: 1},
+		RoundStart{Round: 1, Slot: -1, Slots: 2},
+		RoundStart{Round: 1, Slot: 2, Slots: 2},
+		RoundStart{Round: 1, Slot: 0, Slots: 0},
+		RoundStart{Round: 1, Slot: 0, Slots: 1, Budget: mc.Budget{States: -5}},
+		Batch{From: -1, To: 0},
+		Batch{From: 0, To: maxShards},
+		Idle{Shard: -2, Received: 0},
+		Idle{Shard: 0, Received: -1},
+		ShardReport{Shard: -1},
+		ShardReport{Shard: 0, States: -4},
+		RoundAbort{Round: -1},
+		AbortAck{Shard: -1, Round: 1},
+		AbortAck{Shard: 0, Round: 0},
+	}
+	for _, m := range bad {
+		enc := sm.NewEncoder()
+		if err := encodeMsg(enc, m); err != nil {
+			// The encoder refusing is fine too, as long as somebody does.
+			continue
+		}
+		if got, err := decodeMsg(sm.NewDecoder(enc.Bytes())); err == nil {
+			t.Errorf("decode accepted invalid %#v as %#v", m, got)
+		}
 	}
 }
 

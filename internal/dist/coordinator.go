@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -9,40 +10,76 @@ import (
 	"crystalball/internal/sm"
 )
 
+// DefaultMaxRetries bounds how many times a round is aborted and retried on
+// surviving shards before the coordinator gives up.
+const DefaultMaxRetries = 2
+
 // CoordinatorConfig parameterises the hub.
 type CoordinatorConfig struct {
 	// Now is the clock Result.Checker.Elapsed reads (nil = time.Now) —
-	// the coordinator's only wall-clock access, injected so round timing
-	// is testable like the engine's.
+	// injected so round timing is testable like the engine's.
 	Now func() time.Time
 	// Search and Root, when set, let the coordinator materialize real
 	// event paths for violations that arrived as wire descriptors (TCP
-	// shards). Without them such violations keep a nil path. In-process
-	// shards hand real events through, so dist.Local never needs the
-	// replay.
+	// shards), and — the fault-tolerance floor — run the round on the
+	// local serial engine when every shard has died. Without them such
+	// violations keep a nil path and a zero-survivor round is an error.
+	// In-process shards hand real events through, so dist.Local never
+	// needs the replay.
 	Search *mc.Search
 	Root   *mc.GState
+	// MaxRetries bounds aborted-attempt retries per round
+	// (0 = DefaultMaxRetries, negative = never retry).
+	MaxRetries int
+	// StallTimeout is the application-level wedge detector: if no protocol
+	// message arrives for this long mid-round, every shard that has not
+	// yet settled (or reported, or acked the abort) is declared dead and
+	// the round is retried on the survivors. It catches peers whose
+	// transport stays alive while the protocol loop is stuck — the failure
+	// mode the TCP PeerTimeout cannot see. 0 disables it (in-process
+	// transports surface real deaths as connection errors already).
+	StallTimeout time.Duration
+	// After is the injected stall timer (nil = time.After).
+	After func(time.Duration) <-chan time.Time
 }
 
-// arrival is one message fanned in from a shard connection.
+// arrival is one message fanned in from a shard connection. conn identifies
+// the generation: after a shard rejoins, stale arrivals pumped from its old
+// connection no longer match conns[shard] and are discarded.
 type arrival struct {
 	shard int
+	conn  Conn
 	msg   Msg
 	err   error
+}
+
+// rejoinReq is a replacement connection waiting to be adopted.
+type rejoinReq struct {
+	shard int
+	conn  Conn
 }
 
 // Coordinator is the hub of a distributed search session: it fans rounds
 // out, relays every inter-shard batch (counting credits for the quiescence
 // check), and merges shard reports into the one result the controller
 // consumes. Methods must be called from a single goroutine.
+//
+// Fault tolerance: a shard that errors, faults, or stalls mid-round is
+// declared dead; the coordinator aborts the round on the survivors
+// (RoundAbort / AbortAck barrier), repartitions the hash space and the
+// budget over the shards still alive, and retries — up to MaxRetries
+// times, degrading all the way to the local serial engine when nobody
+// survives. Every death and retry is recorded in Result.Recovery.
 type Coordinator struct {
-	cfg   CoordinatorConfig
-	conns []Conn
-	inbox chan arrival
-	done  chan struct{}
-	round int
-	exp   *mc.Expander // lazy replay workspace (wire-mode violations)
-	enc   *sm.Encoder
+	cfg    CoordinatorConfig
+	conns  []Conn
+	live   []bool
+	inbox  chan arrival
+	rejoin chan rejoinReq
+	done   chan struct{}
+	round  int
+	exp    *mc.Expander // lazy replay workspace (wire-mode violations)
+	enc    *sm.Encoder
 }
 
 // NewCoordinator wraps one connection per shard (index = shard id) and
@@ -52,13 +89,25 @@ func NewCoordinator(conns []Conn, cfg CoordinatorConfig) *Coordinator {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.After == nil {
+		cfg.After = time.After
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = DefaultMaxRetries
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
 	c := &Coordinator{
-		cfg:   cfg,
-		conns: conns,
-		inbox: make(chan arrival, 4*len(conns)+16),
-		done:  make(chan struct{}),
+		cfg:    cfg,
+		conns:  conns,
+		live:   make([]bool, len(conns)),
+		inbox:  make(chan arrival, 4*len(conns)+16),
+		rejoin: make(chan rejoinReq, len(conns)+4),
+		done:   make(chan struct{}),
 	}
 	for i, conn := range conns {
+		c.live[i] = true
 		go c.pump(i, conn)
 	}
 	return c
@@ -68,7 +117,7 @@ func (c *Coordinator) pump(shard int, conn Conn) {
 	for {
 		m, err := conn.Recv()
 		select {
-		case c.inbox <- arrival{shard: shard, msg: m, err: err}:
+		case c.inbox <- arrival{shard: shard, conn: conn, msg: m, err: err}:
 		case <-c.done:
 			return
 		}
@@ -78,11 +127,85 @@ func (c *Coordinator) pump(shard int, conn Conn) {
 	}
 }
 
-// Shutdown ends the session: every shard is asked to exit and the
+// Rejoin hands the coordinator a replacement connection for a dead shard.
+// Safe to call from any goroutine (cmd/shardd's accept loop); the
+// connection is adopted at the next attempt boundary — never mid-attempt,
+// so a rejoining shard cannot disturb a round in flight. Rejoining a shard
+// that is still live is refused (the live connection keeps the slot).
+func (c *Coordinator) Rejoin(shard int, conn Conn) error {
+	if shard < 0 || shard >= len(c.conns) {
+		return errorf("rejoin: unknown shard %d", shard)
+	}
+	select {
+	case c.rejoin <- rejoinReq{shard: shard, conn: conn}:
+		return nil
+	default:
+		return errorf("rejoin: queue full")
+	}
+}
+
+// adoptRejoins folds queued replacement connections in. Called only from
+// the round loop between attempts.
+func (c *Coordinator) adoptRejoins() {
+	for {
+		select {
+		case r := <-c.rejoin:
+			if c.live[r.shard] {
+				_ = r.conn.Close()
+				continue
+			}
+			c.conns[r.shard] = r.conn
+			c.live[r.shard] = true
+			go c.pump(r.shard, r.conn)
+		default:
+			return
+		}
+	}
+}
+
+// kill declares shard id dead: its connection is closed (stopping its pump)
+// and it takes no further part in the session unless it rejoins.
+func (c *Coordinator) kill(id int) {
+	if !c.live[id] {
+		return
+	}
+	c.live[id] = false
+	_ = c.conns[id].Close()
+}
+
+// liveShards returns the live connection identities in ascending order —
+// the next attempt's slot → identity assignment.
+func (c *Coordinator) liveShards() []int {
+	ids := make([]int, 0, len(c.conns))
+	for i, l := range c.live {
+		if l {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// nextArrival blocks for the next fan-in message, bounded by StallTimeout
+// when configured. ok=false means the stall timer fired first.
+func (c *Coordinator) nextArrival() (arrival, bool) {
+	if c.cfg.StallTimeout <= 0 {
+		return <-c.inbox, true
+	}
+	select {
+	case a := <-c.inbox:
+		return a, true
+	case <-c.cfg.After(c.cfg.StallTimeout):
+		return arrival{}, false
+	}
+}
+
+// Shutdown ends the session: every live shard is asked to exit and all
 // connections are closed. Call exactly once, after the last round.
 func (c *Coordinator) Shutdown() {
-	for _, conn := range c.conns {
-		_ = conn.Send(Shutdown{})
+	for i, conn := range c.conns {
+		if c.live[i] {
+			_ = conn.Send(Shutdown{})
+		}
 	}
 	close(c.done)
 	for _, conn := range c.conns {
@@ -103,76 +226,277 @@ type Result struct {
 	Round mc.RoundReport
 	// Stats sums the shards' frontier-exchange counters.
 	Stats Stats
-	// PerShard keeps each shard's raw report (telemetry; per-shard
+	// PerShard keeps each slot's raw report (telemetry; per-shard
 	// expansion counts are scheduling-dependent).
 	PerShard []ShardReport
+	// Recovery is the round's fault-tolerance telemetry: deaths detected,
+	// retries spent, and what the round finally ran on.
+	Recovery RecoveryStats
 }
 
 // RunRound runs one distributed exhaustive round: split the budget, fan
 // out, relay batches until quiescent, then collect and merge reports. A
-// shard connection failing mid-round surfaces here as an error — the round
-// is then unrecoverable and the caller should Shutdown.
+// shard dying mid-round (connection error, Fault, or stall) aborts the
+// attempt, repartitions over the survivors, and retries; only exhausting
+// MaxRetries — or losing every shard with no local engine configured —
+// surfaces as an error.
 func (c *Coordinator) RunRound(b mc.Budget, recordStates bool) (*Result, error) {
 	c.round++
 	began := c.cfg.Now()
-	shares := SplitBudget(b, len(c.conns))
-	for i, conn := range c.conns {
-		if err := conn.Send(RoundStart{Round: c.round, Budget: shares[i], RecordStates: recordStates}); err != nil {
-			return nil, errorf("shard %d: round start: %w", i, err)
+	var rec RecoveryStats
+	for attempt := 1; ; attempt++ {
+		c.adoptRejoins()
+		assign := c.liveShards()
+		if len(assign) == 0 {
+			res, err := c.serialRound(b, recordStates, began)
+			if err != nil {
+				return nil, err
+			}
+			rec.SerialFallback = true
+			res.Recovery = rec
+			return res, nil
+		}
+		res, deaths, err := c.runAttempt(assign, b, recordStates, began, attempt)
+		if err != nil {
+			return nil, err
+		}
+		if deaths == nil {
+			rec.FinalShards = len(assign)
+			res.Recovery = rec
+			return res, nil
+		}
+		rec.Deaths = append(rec.Deaths, deaths...)
+		rec.Deaths = append(rec.Deaths, c.abortAttempt(assign, attempt)...)
+		if rec.Retries >= c.cfg.MaxRetries {
+			return nil, errorf("round %d: attempt %d lost %s and the retry budget (%d) is exhausted",
+				c.round, attempt, deathSummary(deaths), c.cfg.MaxRetries)
+		}
+		rec.Retries++
+	}
+}
+
+// runAttempt fans one round attempt out over assign (slot i → connection
+// assign[i]) and relays until quiescent, then collects reports and merges.
+// A non-nil deaths return means the attempt failed: the listed shards were
+// declared dead and the caller must abort the survivors and retry. err is
+// reserved for coordinator-side failures no retry can fix.
+func (c *Coordinator) runAttempt(assign []int, b mc.Budget, recordStates bool, began time.Time, attempt int) (res *Result, deaths []ShardDeath, err error) {
+	slots := len(assign)
+	slotOf := make(map[int]int, slots)
+	for s, id := range assign {
+		slotOf[id] = s
+	}
+	shares := SplitBudget(b, slots)
+	die := func(id int, cause string) {
+		c.kill(id)
+		deaths = append(deaths, ShardDeath{Shard: id, Round: c.round, Attempt: attempt, Cause: cause})
+	}
+
+	for s, id := range assign {
+		start := RoundStart{Round: c.round, Slot: s, Slots: slots, Budget: shares[s], RecordStates: recordStates}
+		if err := c.conns[id].Send(start); err != nil {
+			die(id, "conn")
+			return nil, deaths, nil
 		}
 	}
 
-	q := newQuiescence(len(c.conns))
+	q := newQuiescence(slots)
 	for !q.quiescent() {
-		a := <-c.inbox
+		a, ok := c.nextArrival()
+		if !ok {
+			for s, id := range assign {
+				if c.live[id] && !q.settled[s] {
+					die(id, "stall")
+				}
+			}
+			return nil, deaths, nil
+		}
+		id := a.shard
+		if !c.live[id] || a.conn != c.conns[id] {
+			continue // stale arrival from a dead or replaced connection
+		}
 		if a.err != nil {
-			return nil, errorf("shard %d connection: %w", a.shard, a.err)
+			die(id, "conn")
+			return nil, deaths, nil
 		}
 		switch m := a.msg.(type) {
 		case Batch:
-			if m.To < 0 || m.To >= len(c.conns) {
-				return nil, errorf("shard %d sent batch for unknown shard %d", a.shard, m.To)
+			if m.To < 0 || m.To >= slots || slotOf[id] != m.From {
+				die(id, "protocol")
+				return nil, deaths, nil
 			}
 			q.relay(m.To)
-			if err := c.conns[m.To].Send(m); err != nil {
-				return nil, errorf("relay to shard %d: %w", m.To, err)
+			if err := c.conns[assign[m.To]].Send(m); err != nil {
+				die(assign[m.To], "conn")
+				return nil, deaths, nil
 			}
 		case Idle:
-			if err := q.idle(a.shard, m.Received); err != nil {
-				return nil, err
+			if m.Shard != slotOf[id] {
+				die(id, "protocol")
+				return nil, deaths, nil
+			}
+			if err := q.idle(m.Shard, m.Received); err != nil {
+				die(id, "protocol")
+				return nil, deaths, nil
 			}
 		case Fault:
-			return nil, errorf("shard %d: %s", m.Shard, m.Err)
+			die(id, "fault")
+			return nil, deaths, nil
 		default:
-			return nil, errorf("shard %d: unexpected %T during round", a.shard, a.msg)
+			die(id, "protocol")
+			return nil, deaths, nil
 		}
 	}
 
-	for i, conn := range c.conns {
-		if err := conn.Send(RoundEnd{}); err != nil {
-			return nil, errorf("shard %d: round end: %w", i, err)
+	for _, id := range assign {
+		if err := c.conns[id].Send(RoundEnd{}); err != nil {
+			die(id, "conn")
+			return nil, deaths, nil
 		}
 	}
-	reports := make([]ShardReport, len(c.conns))
-	for got := 0; got < len(c.conns); {
-		a := <-c.inbox
+	reports := make([]ShardReport, slots)
+	reported := make([]bool, slots)
+	for got := 0; got < slots; {
+		a, ok := c.nextArrival()
+		if !ok {
+			for s, id := range assign {
+				if c.live[id] && !reported[s] {
+					die(id, "stall")
+				}
+			}
+			return nil, deaths, nil
+		}
+		id := a.shard
+		if !c.live[id] || a.conn != c.conns[id] {
+			continue
+		}
 		if a.err != nil {
-			return nil, errorf("shard %d connection: %w", a.shard, a.err)
+			die(id, "conn")
+			return nil, deaths, nil
 		}
 		switch m := a.msg.(type) {
 		case ShardReport:
-			if m.Shard != a.shard {
-				return nil, errorf("shard %d reported as shard %d", a.shard, m.Shard)
+			if m.Shard != slotOf[id] || reported[m.Shard] {
+				die(id, "protocol")
+				return nil, deaths, nil
 			}
-			reports[a.shard] = m
+			reports[m.Shard] = m
+			reported[m.Shard] = true
 			got++
 		case Fault:
-			return nil, errorf("shard %d: %s", m.Shard, m.Err)
+			die(id, "fault")
+			return nil, deaths, nil
 		default:
-			return nil, errorf("shard %d: unexpected %T while collecting reports", a.shard, a.msg)
+			die(id, "protocol")
+			return nil, deaths, nil
 		}
 	}
-	return c.merge(b, shares[0].Workers, reports, began)
+	res, err = c.merge(b, shares[0].Workers, reports, began)
+	return res, nil, err
+}
+
+// abortAttempt tears a failed attempt down on the survivors of assign: each
+// gets RoundAbort and must answer AbortAck. The ack is a FIFO barrier — the
+// coordinator relays nothing during the abort, so once a shard's ack is in,
+// no stale batch or idle from the aborted round can follow on that
+// connection; anything arriving before the ack is discarded here. Survivors
+// that error, fault, or stall during the abort die too (the retry loop will
+// simply repartition over fewer shards). Returns the deaths it caused.
+func (c *Coordinator) abortAttempt(assign []int, attempt int) (deaths []ShardDeath) {
+	die := func(id int, cause string) {
+		c.kill(id)
+		deaths = append(deaths, ShardDeath{Shard: id, Round: c.round, Attempt: attempt, Cause: cause})
+	}
+	waiting := make(map[int]bool, len(assign))
+	for _, id := range assign {
+		if !c.live[id] {
+			continue
+		}
+		if err := c.conns[id].Send(RoundAbort{Round: c.round}); err != nil {
+			die(id, "conn")
+			continue
+		}
+		waiting[id] = true
+	}
+	for len(waiting) > 0 {
+		a, ok := c.nextArrival()
+		if !ok {
+			ids := make([]int, 0, len(waiting))
+			for id := range waiting {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				die(id, "stall")
+			}
+			return deaths
+		}
+		id := a.shard
+		if !c.live[id] || a.conn != c.conns[id] || !waiting[id] {
+			continue
+		}
+		if a.err != nil {
+			die(id, "conn")
+			delete(waiting, id)
+			continue
+		}
+		switch m := a.msg.(type) {
+		case AbortAck:
+			if m.Shard != id || m.Round != c.round {
+				die(id, "protocol")
+			}
+			delete(waiting, id)
+		case Fault:
+			die(id, "fault")
+			delete(waiting, id)
+		case Batch, Idle, ShardReport:
+			// In-flight traffic from the aborted round racing the abort;
+			// FIFO order guarantees it predates the ack. Discard.
+		default:
+			die(id, "protocol")
+			delete(waiting, id)
+		}
+	}
+	return deaths
+}
+
+// serialRound is the degradation floor: every shard is gone, so the round
+// runs on the coordinator's local engine (cfg.Search / cfg.Root — the same
+// pair wire-mode violation replay uses). The claimed-state and local-state
+// sets match what the shards would have produced (the differential oracle's
+// invariant); violations carry the serial engine's full paths.
+func (c *Coordinator) serialRound(b mc.Budget, recordStates bool, began time.Time) (*Result, error) {
+	if c.cfg.Search == nil || c.cfg.Root == nil {
+		return nil, errorf("round %d: no live shards and no local engine to fall back to", c.round)
+	}
+	cfg := c.cfg.Search.Config()
+	cfg.Mode = mc.Exhaustive
+	cfg.Reduce = false
+	cfg.Budget = b
+	if cfg.Budget.Workers <= 0 {
+		cfg.Budget.Workers = 1
+	}
+	cfg.RecordClaimedStates = recordStates
+	cfg.RecordLocalStates = true
+	r := mc.NewSearch(cfg).Run(c.cfg.Root)
+	res := &Result{Checker: *r}
+	res.Checker.Elapsed = c.cfg.Now().Sub(began)
+	res.Round = mc.RoundReport{
+		Budget:     b,
+		States:     res.Checker.StatesExplored,
+		Violations: len(res.Checker.Violations),
+		Elapsed:    res.Checker.Elapsed,
+	}
+	return res, nil
+}
+
+// deathSummary renders an attempt's deaths for error text.
+func deathSummary(deaths []ShardDeath) string {
+	parts := make([]string, len(deaths))
+	for i, d := range deaths {
+		parts[i] = fmt.Sprintf("%d (%s)", d.Shard, d.Cause)
+	}
+	return "shard(s) " + strings.Join(parts, ", ")
 }
 
 // merge folds the shard reports into the single result/round-report pair.

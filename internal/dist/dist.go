@@ -35,7 +35,11 @@
 // do not attempt; Reduce is forced off in shard engines.
 package dist
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Stats counts one shard's frontier-exchange traffic; the coordinator sums
 // them into the round's totals. cmd/experiments -exp sweep reports these
@@ -60,6 +64,81 @@ func (s *Stats) add(o Stats) {
 	s.StatesReceived += o.StatesReceived
 	s.RemoteDeduped += o.RemoteDeduped
 	s.BatchFlushes += o.BatchFlushes
+}
+
+// ShardDeath records one detected shard failure: which connection identity
+// died, during which round and attempt (1-based within the round), and why.
+// Cause is one of "conn" (transport error or peer timeout), "fault" (the
+// shard reported its own engine fault), "stall" (protocol silence beyond
+// CoordinatorConfig.StallTimeout), or "protocol" (the shard violated the
+// round protocol and was expelled).
+type ShardDeath struct {
+	Shard   int
+	Round   int
+	Attempt int
+	Cause   string
+}
+
+// RecoveryStats is the fault-tolerance telemetry of one coordinator round:
+// how many times the round was aborted and retried, which shards were lost
+// along the way, and what the round finally ran on. With a deterministic
+// fault plan and a fixed seed the whole struct — including String() — is
+// byte-identical across runs, which the chaos oracle pins.
+type RecoveryStats struct {
+	// Retries counts aborted attempts (0 = the round succeeded first try).
+	Retries int
+	// Deaths lists every shard failure detected during the round, ordered
+	// by attempt and then by shard index within an attempt.
+	Deaths []ShardDeath
+	// SerialFallback reports that every shard died and the round was
+	// finished by the coordinator's local serial engine.
+	SerialFallback bool
+	// FinalShards is the number of live shards the successful attempt ran
+	// on (0 when SerialFallback).
+	FinalShards int
+}
+
+// add folds another round's recovery telemetry in (used by sweeps).
+func (r *RecoveryStats) add(o RecoveryStats) {
+	r.Retries += o.Retries
+	r.Deaths = append(r.Deaths, o.Deaths...)
+	if o.SerialFallback {
+		r.SerialFallback = true
+	}
+	r.FinalShards = o.FinalShards
+}
+
+// String renders the telemetry canonically, e.g.
+// "retries=1 final=3 deaths[r2a1s0:conn]" — the byte-identical form the
+// determinism tests compare.
+func (r RecoveryStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "retries=%d", r.Retries)
+	if r.SerialFallback {
+		b.WriteString(" serial")
+	}
+	fmt.Fprintf(&b, " final=%d", r.FinalShards)
+	if len(r.Deaths) > 0 {
+		deaths := append([]ShardDeath(nil), r.Deaths...)
+		sort.Slice(deaths, func(i, j int) bool {
+			if deaths[i].Round != deaths[j].Round {
+				return deaths[i].Round < deaths[j].Round
+			}
+			if deaths[i].Attempt != deaths[j].Attempt {
+				return deaths[i].Attempt < deaths[j].Attempt
+			}
+			return deaths[i].Shard < deaths[j].Shard
+		})
+		b.WriteString(" deaths[")
+		for i, d := range deaths {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "r%da%ds%d:%s", d.Round, d.Attempt, d.Shard, d.Cause)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
 }
 
 // DefaultBatchSize is the forwarded-state batch flush threshold: batches

@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"crystalball/internal/mc"
 	"crystalball/internal/scenario"
@@ -20,13 +22,10 @@ func chordStart(t *testing.T) (*mc.GState, mc.Config) {
 	return g, cfg
 }
 
-// TestShardDropMidRound pins the transport-fault satellite: a shard whose
-// connection dies mid-round must surface as a round error at the
-// coordinator — promptly, not as a hang (the test would time out).
-func TestShardDropMidRound(t *testing.T) {
-	g, cfg := chordStart(t)
-
-	// Shard 0 is real; "shard" 1 accepts the round start and then drops.
+// dropShardSession wires a real shard 0 and a "shard" 1 that accepts the
+// round start and then drops its connection — the simplest mid-round death.
+func dropShardSession(t *testing.T, g *mc.GState, cfg mc.Config) ([]Conn, chan error) {
+	t.Helper()
 	hub0, side0 := Pipe()
 	hub1, side1 := Pipe()
 	done := make(chan error, 1)
@@ -39,13 +38,60 @@ func TestShardDropMidRound(t *testing.T) {
 		}
 		side1.Close()
 	}()
+	return []Conn{hub0, hub1}, done
+}
 
-	coord := NewCoordinator([]Conn{hub0, hub1}, CoordinatorConfig{})
+// TestShardDropMidRound pins the recovery tentpole: a shard whose
+// connection dies mid-round is declared dead, the round is aborted on the
+// survivor, repartitioned over it alone, and retried to completion — with
+// a claimed-state set identical to the serial engine's, and the death and
+// retry on the recovery telemetry. Promptly, not as a hang (the test would
+// time out).
+func TestShardDropMidRound(t *testing.T) {
+	g, cfg := chordStart(t)
+	serialCfg := cfg
+	serialCfg.Budget = mc.Budget{Depth: 5, Workers: 1}
+	serialCfg.RecordClaimedStates = true
+	serial := mc.NewSearch(serialCfg).Run(g)
+
+	conns, done := dropShardSession(t, g, cfg)
+	coord := NewCoordinator(conns, CoordinatorConfig{})
+	res, err := coord.RunRound(mc.Budget{Depth: 5, Workers: 1}, true)
+	if err != nil {
+		t.Fatalf("round did not recover from the dropped shard: %v", err)
+	}
+	coord.Shutdown()
+	if serr := <-done; serr != nil && serr != ErrClosed {
+		t.Errorf("surviving shard exited with: %v", serr)
+	}
+	if res.Recovery.Retries != 1 || res.Recovery.FinalShards != 1 || res.Recovery.SerialFallback {
+		t.Errorf("recovery = %q, want 1 retry finishing on 1 shard", res.Recovery.String())
+	}
+	if len(res.Recovery.Deaths) != 1 || res.Recovery.Deaths[0] != (ShardDeath{Shard: 1, Round: 1, Attempt: 1, Cause: "conn"}) {
+		t.Errorf("deaths = %+v, want shard 1 conn death in attempt 1", res.Recovery.Deaths)
+	}
+	if !reflect.DeepEqual(res.Checker.ClaimedStates, serial.ClaimedStates) {
+		t.Errorf("recovered claimed set diverges from serial (%d vs %d states)",
+			len(res.Checker.ClaimedStates), len(serial.ClaimedStates))
+	}
+	if res.Checker.DistinctLocalStates != serial.DistinctLocalStates {
+		t.Errorf("recovered DistinctLocalStates=%d, serial %d",
+			res.Checker.DistinctLocalStates, serial.DistinctLocalStates)
+	}
+}
+
+// TestShardDropRetryExhausted pins the bound: with retries disabled the
+// same death is a round error naming the dead shard, and the session still
+// shuts down cleanly (the abort barrier left the survivor consistent).
+func TestShardDropRetryExhausted(t *testing.T) {
+	g, cfg := chordStart(t)
+	conns, done := dropShardSession(t, g, cfg)
+	coord := NewCoordinator(conns, CoordinatorConfig{MaxRetries: -1})
 	_, err := coord.RunRound(mc.Budget{Depth: 5, Workers: 1}, false)
 	if err == nil {
-		t.Fatalf("round with a dropped shard reported success")
+		t.Fatalf("round with retries disabled reported success")
 	}
-	if !strings.Contains(err.Error(), "shard 1") {
+	if !strings.Contains(err.Error(), "shard(s) 1 (conn)") {
 		t.Errorf("error does not name the dropped shard: %v", err)
 	}
 	coord.Shutdown()
@@ -93,6 +139,121 @@ func TestShardFaultSurfaces(t *testing.T) {
 		t.Errorf("faulting shard exited cleanly")
 	}
 	hub0.Close()
+}
+
+// TestStallTimeoutDeclaresDead pins the application-level wedge detector:
+// a shard whose transport stays healthy but whose protocol loop never
+// answers (accepts the round start, then silence) is declared dead after
+// StallTimeout, and the round recovers on the survivor.
+func TestStallTimeoutDeclaresDead(t *testing.T) {
+	g, cfg := chordStart(t)
+	serialCfg := cfg
+	serialCfg.Budget = mc.Budget{Depth: 4, Workers: 1}
+	serialCfg.RecordClaimedStates = true
+	serial := mc.NewSearch(serialCfg).Run(g)
+
+	hub0, side0 := Pipe()
+	hub1, side1 := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunShard(side0, ShardConfig{Index: 0, Shards: 2, Search: cfg, Root: g})
+	}()
+	go func() {
+		// Wedged: swallow everything, answer nothing, keep the conn open.
+		for {
+			if _, err := side1.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	coord := NewCoordinator([]Conn{hub0, hub1}, CoordinatorConfig{StallTimeout: time.Second})
+	res, err := coord.RunRound(mc.Budget{Depth: 4, Workers: 1}, true)
+	if err != nil {
+		t.Fatalf("round did not recover from the wedged shard: %v", err)
+	}
+	coord.Shutdown()
+	if serr := <-done; serr != nil && serr != ErrClosed {
+		t.Errorf("surviving shard exited with: %v", serr)
+	}
+	var stalled bool
+	for _, d := range res.Recovery.Deaths {
+		if d.Shard == 1 && d.Cause == "stall" {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Errorf("wedged shard not recorded as a stall death: %q", res.Recovery.String())
+	}
+	if res.Recovery.Retries < 1 || res.Recovery.FinalShards != 1 {
+		t.Errorf("recovery = %q, want a retry finishing on 1 shard", res.Recovery.String())
+	}
+	if !reflect.DeepEqual(res.Checker.ClaimedStates, serial.ClaimedStates) {
+		t.Errorf("recovered claimed set diverges from serial (%d vs %d states)",
+			len(res.Checker.ClaimedStates), len(serial.ClaimedStates))
+	}
+}
+
+// TestSerialFallback pins the degradation floor: when every shard dies, the
+// coordinator finishes the round on its local engine and the claimed set is
+// still exactly the serial engine's.
+func TestSerialFallback(t *testing.T) {
+	g, cfg := chordStart(t)
+	serialCfg := cfg
+	serialCfg.Budget = mc.Budget{Depth: 4, Workers: 1}
+	serialCfg.RecordClaimedStates = true
+	serial := mc.NewSearch(serialCfg).Run(g)
+
+	// Both "shards" take the round start and drop dead.
+	var conns []Conn
+	for i := 0; i < 2; i++ {
+		hub, side := Pipe()
+		conns = append(conns, hub)
+		go func(side Conn) {
+			if _, err := side.Recv(); err != nil {
+				return
+			}
+			side.Close()
+		}(side)
+	}
+	coord := NewCoordinator(conns, CoordinatorConfig{Search: mc.NewSearch(cfg), Root: g})
+	res, err := coord.RunRound(mc.Budget{Depth: 4, Workers: 1}, true)
+	if err != nil {
+		t.Fatalf("round did not fall back to serial: %v", err)
+	}
+	coord.Shutdown()
+	if !res.Recovery.SerialFallback || res.Recovery.FinalShards != 0 {
+		t.Errorf("recovery = %q, want a serial fallback", res.Recovery.String())
+	}
+	if len(res.Recovery.Deaths) != 2 {
+		t.Errorf("deaths = %+v, want both shards dead", res.Recovery.Deaths)
+	}
+	if !reflect.DeepEqual(res.Checker.ClaimedStates, serial.ClaimedStates) {
+		t.Errorf("fallback claimed set diverges from serial (%d vs %d states)",
+			len(res.Checker.ClaimedStates), len(serial.ClaimedStates))
+	}
+	if res.Round.States != res.Checker.StatesExplored {
+		t.Errorf("round report states %d != checker states %d", res.Round.States, res.Checker.StatesExplored)
+	}
+
+	// Without a local engine the same cascade is an error, not a hang.
+	conns = nil
+	for i := 0; i < 2; i++ {
+		hub, side := Pipe()
+		conns = append(conns, hub)
+		go func(side Conn) {
+			if _, err := side.Recv(); err != nil {
+				return
+			}
+			side.Close()
+		}(side)
+	}
+	coord = NewCoordinator(conns, CoordinatorConfig{})
+	if _, err := coord.RunRound(mc.Budget{Depth: 4, Workers: 1}, false); err == nil ||
+		!strings.Contains(err.Error(), "no live shards") {
+		t.Errorf("zero survivors without an engine: %v", err)
+	}
+	coord.Shutdown()
 }
 
 // TestLocalMatchesSerial is the package-local smoke version of the

@@ -3,13 +3,14 @@ package dist
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"crystalball/internal/mc"
 )
 
 // LocalConfig parameterises an in-process distributed search: N shard
 // goroutines wired to a coordinator over loopback connections. This is
-// what `mcheck -shards N` and the differential oracle run.
+// what `mcheck -shards N` and the differential oracles run.
 type LocalConfig struct {
 	// Shards is the partition width (0 or 1 = a single shard owning the
 	// whole space).
@@ -29,6 +30,20 @@ type LocalConfig struct {
 	// RecordStates asks every shard for its claimed-fingerprint dump
 	// (merged sorted into Result.Checker.ClaimedStates).
 	RecordStates bool
+	// Faults, when set, wraps each shard's hub-side connection in the
+	// deterministic fault-injection plan (mcheck -faults). Shards the plan
+	// kills are recovered from by the coordinator's retry machinery and
+	// reported in Result.Recovery.
+	Faults *FaultPlan
+	// MaxRetries is CoordinatorConfig.MaxRetries
+	// (0 = DefaultMaxRetries, negative = never retry).
+	MaxRetries int
+	// StallTimeout is CoordinatorConfig.StallTimeout (0 = disabled; the
+	// loopback transport surfaces real deaths as connection errors, so
+	// only wedge-style fault tests need it).
+	StallTimeout time.Duration
+	// After is the injected stall timer (nil = time.After).
+	After func(time.Duration) <-chan time.Time
 }
 
 // Local runs one distributed exhaustive round in process and returns the
@@ -52,6 +67,9 @@ func Local(cfg LocalConfig) (*Result, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		hub, shardSide := Pipe()
 		hubConns[i] = hub
+		if cfg.Faults != nil {
+			hubConns[i] = cfg.Faults.Wrap(i, hub)
+		}
 		wg.Add(1)
 		go func(i int, conn Conn) {
 			defer wg.Done()
@@ -66,9 +84,12 @@ func Local(cfg LocalConfig) (*Result, error) {
 	}
 
 	coord := NewCoordinator(hubConns, CoordinatorConfig{
-		Now:    probe.Config().Now,
-		Search: probe,
-		Root:   cfg.Root,
+		Now:          probe.Config().Now,
+		Search:       probe,
+		Root:         cfg.Root,
+		MaxRetries:   cfg.MaxRetries,
+		StallTimeout: cfg.StallTimeout,
+		After:        cfg.After,
 	})
 	res, err := coord.RunRound(budget, cfg.RecordStates)
 	coord.Shutdown()
@@ -76,8 +97,16 @@ func Local(cfg LocalConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, serr := range errs {
-		if serr != nil && !errors.Is(serr, ErrClosed) {
+	// Shards the coordinator declared dead exited with whatever error
+	// killed them (severed pipe, corrupted batch, …) — the round already
+	// recovered from those; only an error from a shard that stayed in the
+	// session is a real failure.
+	dead := make(map[int]bool, len(res.Recovery.Deaths))
+	for _, d := range res.Recovery.Deaths {
+		dead[d.Shard] = true
+	}
+	for i, serr := range errs {
+		if serr != nil && !errors.Is(serr, ErrClosed) && !dead[i] {
 			return nil, serr
 		}
 	}

@@ -13,8 +13,12 @@ import (
 
 // ShardConfig parameterises one shard of an n-way distributed search.
 type ShardConfig struct {
-	// Index and Shards place this shard in the partition: it owns
-	// mc.ShardRange(Index, Shards).
+	// Index and Shards are the shard's connection identity: which of the
+	// session's worker connections it is. The hash range it owns is a
+	// per-round assignment (RoundStart.Slot/Slots) — after a failure the
+	// coordinator repartitions over the survivors, so identity and slot
+	// are distinct concepts. A RoundStart with zero Slots defaults to the
+	// identity partition.
 	Index  int
 	Shards int
 	// Search is the scenario's checker configuration. Mode must be
@@ -264,6 +268,8 @@ func (f *frontier) clear() {
 // touched only from the shard's main goroutine.
 type shard struct {
 	cfg     ShardConfig
+	slot    int // this round's partition slot
+	slots   int // this round's partition width
 	rng     mc.HashRange
 	search  *mc.Search
 	conn    Conn
@@ -308,6 +314,8 @@ func newShard(conn Conn, cfg ShardConfig) (*shard, error) {
 	}
 	return &shard{
 		cfg:     cfg,
+		slot:    cfg.Index,
+		slots:   cfg.Shards,
 		rng:     mc.ShardRange(cfg.Index, cfg.Shards),
 		search:  mc.NewSearch(cfg.Search),
 		conn:    conn,
@@ -340,7 +348,9 @@ func (sh *shard) serve() error {
 		}
 		switch v := m.(type) {
 		case RoundStart:
-			sh.startRound(v)
+			if err := sh.startRound(v); err != nil {
+				return sh.fault(err)
+			}
 			if err := sh.drainAndIdle(&pending); err != nil {
 				return sh.fault(err)
 			}
@@ -355,10 +365,24 @@ func (sh *shard) serve() error {
 				return sh.fault(err)
 			}
 		case RoundEnd:
+			if sh.visited == nil {
+				return sh.fault(errorf("shard %d: round end outside a round", sh.cfg.Index))
+			}
 			if err := sh.conn.Send(sh.report()); err != nil {
 				return err
 			}
 			sh.endRound()
+		case RoundAbort:
+			// A peer shard died; drop all round state and acknowledge.
+			// The ack is the coordinator's barrier: FIFO order means no
+			// stale batch or idle from the aborted round can follow it.
+			sh.endRound()
+			if err := sh.conn.Send(AbortAck{Shard: sh.cfg.Index, Round: v.Round}); err != nil {
+				return err
+			}
+		case Ping:
+			// Transport keepalive; the TCP reader normally swallows these
+			// before they reach the protocol loop.
 		case Shutdown:
 			return nil
 		default:
@@ -374,9 +398,17 @@ func (sh *shard) fault(err error) error {
 	return err
 }
 
-// startRound resets per-round state and seeds the root if this shard owns
-// its fingerprint.
-func (sh *shard) startRound(rs RoundStart) {
+// startRound resets per-round state, takes this round's partition slot,
+// and seeds the root if the slot's range owns its fingerprint.
+func (sh *shard) startRound(rs RoundStart) error {
+	sh.slot, sh.slots = rs.Slot, rs.Slots
+	if rs.Slots == 0 {
+		sh.slot, sh.slots = sh.cfg.Index, sh.cfg.Shards
+	}
+	if sh.slots <= 0 || sh.slot < 0 || sh.slot >= sh.slots {
+		return errorf("shard %d: round start assigns slot %d of %d", sh.cfg.Index, rs.Slot, rs.Slots)
+	}
+	sh.rng = mc.ShardRange(sh.slot, sh.slots)
 	b := rs.Budget
 	sh.workers = b.Workers
 	if sh.workers <= 0 {
@@ -400,7 +432,7 @@ func (sh *shard) startRound(rs RoundStart) {
 	sh.fwd = make(map[uint64]int32)
 	sh.locals = make(map[uint64]struct{})
 	sh.fr = frontier{}
-	sh.out = make([][]ForwardState, sh.cfg.Shards)
+	sh.out = make([][]ForwardState, sh.slots)
 	sh.received = 0
 	sh.record = rs.RecordStates
 	sh.st = Stats{}
@@ -408,6 +440,7 @@ func (sh *shard) startRound(rs RoundStart) {
 	if h := sh.cfg.Root.Hash(); sh.rng.Contains(h) {
 		sh.claim(&node{state: sh.cfg.Root}, h)
 	}
+	return nil
 }
 
 // endRound drops the round's tables so their memory is reclaimable between
@@ -467,7 +500,7 @@ func (sh *shard) drainAndIdle(pending *Msg) error {
 	if err := sh.flushAll(); err != nil {
 		return err
 	}
-	return sh.conn.Send(Idle{Shard: sh.cfg.Index, Received: sh.received})
+	return sh.conn.Send(Idle{Shard: sh.slot, Received: sh.received})
 }
 
 // pollBatches ingests every already-queued batch without blocking. A
@@ -576,7 +609,7 @@ func (sh *shard) route(child *node) error {
 		return nil
 	}
 	sh.fwd[h] = child.depth
-	owner := mc.ShardOwner(h, sh.cfg.Shards)
+	owner := mc.ShardOwner(h, sh.slots)
 	sh.out[owner] = append(sh.out[owner], ForwardState{Hash: h, Depth: child.depth, node: child})
 	sh.st.StatesForwarded++
 	if len(sh.out[owner]) >= sh.cfg.BatchSize {
@@ -592,7 +625,7 @@ func (sh *shard) flush(owner int) error {
 	}
 	sh.out[owner] = nil
 	sh.st.BatchFlushes++
-	return sh.conn.Send(Batch{From: sh.cfg.Index, To: owner, States: states})
+	return sh.conn.Send(Batch{From: sh.slot, To: owner, States: states})
 }
 
 func (sh *shard) flushAll() error {
@@ -608,9 +641,12 @@ func (sh *shard) flushAll() error {
 // counts the batch (the quiescence protocol needs the credit repaid) but
 // drops its states.
 func (sh *shard) ingest(b Batch) error {
+	if sh.visited == nil {
+		return errorf("shard %d: batch outside a round", sh.cfg.Index)
+	}
 	sh.received++
-	if b.To != sh.cfg.Index {
-		return errorf("shard %d: misrouted batch for shard %d", sh.cfg.Index, b.To)
+	if b.To != sh.slot {
+		return errorf("shard %d: misrouted batch for slot %d (holding slot %d)", sh.cfg.Index, b.To, sh.slot)
 	}
 	sh.st.StatesReceived += int64(len(b.States))
 	if sh.bdg.exhausted() {
@@ -699,10 +735,12 @@ func resolveDesc(x *mc.Expander, scratch *sm.Encoder, g *mc.GState, desc *EventD
 	return found, nil
 }
 
-// report assembles this shard's round report.
+// report assembles this shard's round report. Shard carries the *slot* the
+// report covers (like Batch.From and Idle.Shard), so the coordinator can
+// index reports by partition after a repartitioned retry.
 func (sh *shard) report() ShardReport {
 	r := ShardReport{
-		Shard:       sh.cfg.Index,
+		Shard:       sh.slot,
 		States:      int64(len(sh.visited)),
 		Expansions:  sh.bdg.expansions(),
 		Transitions: sh.bdg.transitions.Load(),

@@ -3,7 +3,9 @@ package dist
 import (
 	"net"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"crystalball/internal/mc"
 )
@@ -30,7 +32,7 @@ func TestTCPSmoke(t *testing.T) {
 	for i := 0; i < shards; i++ {
 		i := i
 		go func() {
-			conn, err := DialTCP(ln.Addr().String())
+			conn, err := DialTCP(ln.Addr().String(), TCPOptions{})
 			if err != nil {
 				shardErrs <- err
 				return
@@ -51,7 +53,7 @@ func TestTCPSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		conn := WrapTCP(nc)
+		conn := WrapTCP(nc, TCPOptions{})
 		m, err := conn.Recv()
 		if err != nil {
 			t.Fatal(err)
@@ -106,9 +108,9 @@ func TestTCPConnRoundTrip(t *testing.T) {
 		if err != nil {
 			return
 		}
-		accepted <- WrapTCP(nc)
+		accepted <- WrapTCP(nc, TCPOptions{})
 	}()
-	a, err := DialTCP(ln.Addr().String())
+	a, err := DialTCP(ln.Addr().String(), TCPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +123,11 @@ func TestTCPConnRoundTrip(t *testing.T) {
 		}
 	}
 	for _, want := range msgs {
+		if _, isPing := want.(Ping); isPing {
+			// Pings are consumed by the transport reader (heartbeats never
+			// reach the protocol loop), so there is nothing to receive.
+			continue
+		}
 		got, err := b.Recv()
 		if err != nil {
 			t.Fatalf("recv: %v", err)
@@ -136,4 +143,53 @@ func TestTCPConnRoundTrip(t *testing.T) {
 		t.Fatalf("recv after peer close succeeded")
 	}
 	b.Close()
+}
+
+// TestTCPMutePeerTimesOut is the failure-detection regression: a peer that
+// accepts the connection and then goes mute (transport open, zero traffic —
+// the pre-heartbeat worst case) must surface as a connection error within
+// the peer timeout, not hang a Recv forever. This covers the handshake too:
+// Hello/Setup reads run through the same wrapper.
+func TestTCPMutePeerTimesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Mute: hold the raw socket open, never write, never heartbeat.
+		defer nc.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	const timeout = 300 * time.Millisecond
+	conn, err := DialTCP(ln.Addr().String(), TCPOptions{PeerTimeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(Hello{Shard: 0, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = conn.Recv()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("recv from a mute peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "declared dead") {
+		t.Errorf("timeout not labeled as peer death: %v", err)
+	}
+	if elapsed > 20*timeout {
+		t.Errorf("detection took %v with a %v peer timeout", elapsed, timeout)
+	}
 }

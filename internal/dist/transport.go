@@ -33,7 +33,14 @@ const (
 	kindReport     = byte('R')
 	kindShutdown   = byte('Q')
 	kindFault      = byte('X')
+	kindPing       = byte('P')
+	kindAbort      = byte('A')
+	kindAbortAck   = byte('K')
 )
+
+// maxShards bounds the shard counts a decoded message may claim; anything
+// above it is a corrupt or hostile frame, not a plausible deployment.
+const maxShards = 1 << 16
 
 // Hello is the first message a shardd worker sends after dialing the
 // coordinator: which shard slot it wants and how many shards it expects.
@@ -63,14 +70,50 @@ type Setup struct {
 func (Setup) kind() byte { return kindSetup }
 
 // RoundStart fans one round out to a shard with its share of the planned
-// budget (see SplitBudget).
+// budget (see SplitBudget). Slot and Slots place the shard in *this
+// round's* partition: after a failure the coordinator repartitions the
+// fingerprint space over the survivors, so a shard's slot can differ from
+// its connection identity and can change between retries. A shard owns
+// mc.ShardRange(Slot, Slots) for the duration of the round.
 type RoundStart struct {
 	Round        int
+	Slot         int
+	Slots        int
 	Budget       mc.Budget
 	RecordStates bool
 }
 
 func (RoundStart) kind() byte { return kindRoundStart }
+
+// Ping is the control-plane heartbeat. The TCP transport emits one per
+// heartbeat interval from a dedicated writer so a connection carrying no
+// round traffic still proves its peer alive; the reader consumes Pings at
+// the transport layer (they never reach the protocol loops). The loopback
+// transport never needs them. Ping is still a first-class codec message so
+// the fuzzer covers it and a corrupted Ping fails loudly.
+type Ping struct{}
+
+func (Ping) kind() byte { return kindPing }
+
+// RoundAbort tells a shard to abandon the in-flight round (a peer shard
+// died); the shard drops all round state and replies with AbortAck. Because
+// connections are FIFO and the coordinator stops relaying the moment it
+// starts an abort, the AbortAck doubles as a barrier: once it arrives,
+// no stale traffic from the aborted round can follow it.
+type RoundAbort struct {
+	Round int
+}
+
+func (RoundAbort) kind() byte { return kindAbort }
+
+// AbortAck acknowledges a RoundAbort; Shard is the worker's connection
+// identity (not its round slot — the aborted round's slots are dead).
+type AbortAck struct {
+	Shard int
+	Round int
+}
+
+func (AbortAck) kind() byte { return kindAbortAck }
 
 // EventDesc is the transport form of one sm.Event: enough identity to
 // re-resolve the event against the enabled set of the state it executed in.
@@ -145,9 +188,10 @@ type ForwardState struct {
 	node  *node       // in-process form (nil on the wire)
 }
 
-// Batch carries forwarded states from shard From to owner shard To; the
-// coordinator relays it and counts the relay as an outstanding credit
-// against To.
+// Batch carries forwarded states from slot From to owner slot To (round
+// slots, not connection identities); the coordinator relays it to the
+// connection holding slot To and counts the relay as an outstanding credit
+// against that slot.
 type Batch struct {
 	From   int
 	To     int
@@ -158,8 +202,9 @@ func (Batch) kind() byte { return kindBatch }
 
 // Idle is a shard's report that it has drained its frontier, flushed its
 // outgoing batches, and has processed Received batches so far this round.
-// The coordinator compares Received against its relay count to that shard:
-// equality means no credit is outstanding (termination.go).
+// Shard is the sender's round slot. The coordinator compares Received
+// against its relay count to that slot: equality means no credit is
+// outstanding (termination.go).
 type Idle struct {
 	Shard    int
 	Received int64
@@ -250,6 +295,8 @@ func encodeMsg(e *sm.Encoder, m Msg) error {
 		e.Int(v.BatchSize)
 	case RoundStart:
 		e.Int(v.Round)
+		e.Int(v.Slot)
+		e.Int(v.Slots)
 		encodeBudget(e, v.Budget)
 		e.Bool(v.RecordStates)
 	case Batch:
@@ -284,6 +331,12 @@ func encodeMsg(e *sm.Encoder, m Msg) error {
 		encodeHashes(e, v.Claimed)
 		encodeHashes(e, v.Locals)
 	case Shutdown:
+	case Ping:
+	case RoundAbort:
+		e.Int(v.Round)
+	case AbortAck:
+		e.Int(v.Shard)
+		e.Int(v.Round)
 	case Fault:
 		e.Int(v.Shard)
 		e.String(v.Err)
@@ -293,15 +346,23 @@ func encodeMsg(e *sm.Encoder, m Msg) error {
 	return nil
 }
 
-// decodeMsg reads one message written by encodeMsg.
+// decodeMsg reads one message written by encodeMsg. Control-plane fields
+// are validated here, not at the protocol loops: a frame carrying an
+// impossible shard slot, a negative counter or an out-of-range partition is
+// rejected as corrupt the moment it is decoded, so a flipped bit cannot
+// masquerade as a legal message and silently skew a round.
 func decodeMsg(d *sm.Decoder) (Msg, error) {
 	kind := d.Byte()
 	var m Msg
 	switch kind {
 	case kindHello:
-		m = Hello{Shard: d.Int(), Shards: d.Int()}
+		h := Hello{Shard: d.Int(), Shards: d.Int()}
+		if d.Err() == nil && (h.Shards <= 0 || h.Shards > maxShards || h.Shard < 0 || h.Shard >= h.Shards) {
+			return nil, errorf("decode: hello claims shard %d of %d", h.Shard, h.Shards)
+		}
+		m = h
 	case kindSetup:
-		m = Setup{
+		su := Setup{
 			Scenario:   d.String(),
 			Nodes:      d.Int(),
 			Variant:    d.String(),
@@ -312,10 +373,29 @@ func decodeMsg(d *sm.Decoder) (Msg, error) {
 			Workers:    d.Int(),
 			BatchSize:  d.Int(),
 		}
+		if d.Err() == nil && (su.Nodes < 0 || su.Workers < 0 || su.BatchSize < 0) {
+			return nil, errorf("decode: setup with negative sizing (nodes=%d workers=%d batch=%d)", su.Nodes, su.Workers, su.BatchSize)
+		}
+		m = su
 	case kindRoundStart:
-		m = RoundStart{Round: d.Int(), Budget: decodeBudget(d), RecordStates: d.Bool()}
+		rs := RoundStart{Round: d.Int(), Slot: d.Int(), Slots: d.Int(), Budget: decodeBudget(d), RecordStates: d.Bool()}
+		if d.Err() == nil {
+			if rs.Round <= 0 {
+				return nil, errorf("decode: round start for round %d", rs.Round)
+			}
+			if rs.Slots <= 0 || rs.Slots > maxShards || rs.Slot < 0 || rs.Slot >= rs.Slots {
+				return nil, errorf("decode: round start places shard at slot %d of %d", rs.Slot, rs.Slots)
+			}
+			if err := validBudget(rs.Budget); err != nil {
+				return nil, err
+			}
+		}
+		m = rs
 	case kindBatch:
 		b := Batch{From: d.Int(), To: d.Int()}
+		if d.Err() == nil && (b.From < 0 || b.From >= maxShards || b.To < 0 || b.To >= maxShards) {
+			return nil, errorf("decode: batch between impossible slots %d -> %d", b.From, b.To)
+		}
 		n := int(d.Uint32())
 		if d.Err() != nil || n < 0 || n > d.Remaining() {
 			return nil, errorf("decode: bad batch length %d", n)
@@ -332,7 +412,11 @@ func decodeMsg(d *sm.Decoder) (Msg, error) {
 		}
 		m = b
 	case kindIdle:
-		m = Idle{Shard: d.Int(), Received: d.Int64()}
+		id := Idle{Shard: d.Int(), Received: d.Int64()}
+		if d.Err() == nil && (id.Shard < 0 || id.Shard >= maxShards || id.Received < 0) {
+			return nil, errorf("decode: idle from slot %d with %d received", id.Shard, id.Received)
+		}
+		m = id
 	case kindRoundEnd:
 		m = RoundEnd{}
 	case kindReport:
@@ -343,6 +427,9 @@ func decodeMsg(d *sm.Decoder) (Msg, error) {
 			Transitions: d.Int64(),
 			MaxDepth:    int32(d.Uint32()),
 			Exhausted:   d.Bool(),
+		}
+		if d.Err() == nil && (r.Shard < 0 || r.Shard >= maxShards || r.States < 0 || r.Expansions < 0 || r.Transitions < 0) {
+			return nil, errorf("decode: report with impossible counters (shard=%d)", r.Shard)
 		}
 		n := int(d.Uint32())
 		if d.Err() != nil || n < 0 || n > d.Remaining() {
@@ -363,6 +450,20 @@ func decodeMsg(d *sm.Decoder) (Msg, error) {
 		m = r
 	case kindShutdown:
 		m = Shutdown{}
+	case kindPing:
+		m = Ping{}
+	case kindAbort:
+		ra := RoundAbort{Round: d.Int()}
+		if d.Err() == nil && ra.Round <= 0 {
+			return nil, errorf("decode: abort for round %d", ra.Round)
+		}
+		m = ra
+	case kindAbortAck:
+		ak := AbortAck{Shard: d.Int(), Round: d.Int()}
+		if d.Err() == nil && (ak.Shard < 0 || ak.Shard >= maxShards || ak.Round <= 0) {
+			return nil, errorf("decode: abort ack from shard %d for round %d", ak.Shard, ak.Round)
+		}
+		m = ak
 	case kindFault:
 		m = Fault{Shard: d.Int(), Err: d.String()}
 	default:
@@ -395,6 +496,15 @@ func decodeBudget(d *sm.Decoder) mc.Budget {
 		Transitions: d.Int(),
 		Workers:     d.Int(),
 	}
+}
+
+// validBudget rejects decoded budgets no planner can produce (every budget
+// dimension is a non-negative quota; 0 means unlimited).
+func validBudget(b mc.Budget) error {
+	if b.States < 0 || b.Depth < 0 || b.Wall < 0 || b.Violations < 0 || b.Transitions < 0 || b.Workers < 0 {
+		return errorf("decode: budget with negative quota %+v", b)
+	}
+	return nil
 }
 
 func encodeDesc(e *sm.Encoder, desc *EventDesc) {

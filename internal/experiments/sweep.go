@@ -38,6 +38,11 @@ type SweepConfig struct {
 	Rounds int
 	// Interval is the nominal snapshot interval fed to Plan (0 = 10 s).
 	Interval time.Duration
+	// Faults is a dist.FaultPlan spec injected into every distributed cell
+	// (shards > 1), so the sweep can measure recovery cost: the Retries
+	// and ShardsLost columns show what the fault plan did to each cell.
+	// Empty = fault-free. Single-engine cells ignore it.
+	Faults string
 }
 
 // SweepRow is one cell of the matrix: a scenario checked offline under one
@@ -68,6 +73,11 @@ type SweepRow struct {
 	// DistinctLocals counts the distinct node-local states reached,
 	// summed over rounds (each round reports its own distinct set).
 	DistinctLocals int
+	// Retries and ShardsLost aggregate the recovery telemetry over rounds
+	// when SweepConfig.Faults injects failures into distributed cells:
+	// rounds re-run after a shard death, and shard deaths observed.
+	Retries    int
+	ShardsLost int
 	// Coverage is the sweep's quality metric — distinct local states
 	// reached per 1000 states of exploration budget. Raw states/sec
 	// rewards re-claiming cheap duplicate interleavings; locals-per-
@@ -156,6 +166,7 @@ func sweepCell(cfg SweepConfig, name, policy string, workers, shards int, reduce
 				Search: searchCfg,
 				Root:   g,
 				Budget: plan,
+				Faults: dist.MustFaultPlan(cfg.Faults),
 			})
 			if err != nil {
 				panic(err)
@@ -166,6 +177,8 @@ func sweepCell(cfg SweepConfig, name, policy string, workers, shards int, reduce
 			row.Received += dres.Stats.StatesReceived
 			row.RemoteDeduped += dres.Stats.RemoteDeduped
 			row.BatchFlushes += dres.Stats.BatchFlushes
+			row.Retries += dres.Recovery.Retries
+			row.ShardsLost += len(dres.Recovery.Deaths)
 		} else {
 			searchCfg.Mode = mc.Consequence
 			searchCfg.Reduce = reduce
@@ -204,12 +217,13 @@ func FormatSweep(rows []SweepRow) string {
 		Title: "Scenario x workers x shards x policy x reduction sweep (per-cell rounds with feedback)",
 		Header: []string{"scenario", "policy", "workers", "shards", "reduce", "planned-states",
 			"states", "transitions", "pruned", "fwd", "rcvd", "rdedup", "flushes",
-			"locals", "locals/1k-budget", "distinct-bugs"},
+			"retries", "lost", "locals", "locals/1k-budget", "distinct-bugs"},
 	}
 	for _, r := range rows {
 		t.Add(r.Scenario, r.Policy, r.Workers, r.Shards, onOff(r.Reduce), r.PlannedStates,
 			r.States, r.Transitions, r.Pruned,
 			r.Forwarded, r.Received, r.RemoteDeduped, r.BatchFlushes,
+			r.Retries, r.ShardsLost,
 			r.DistinctLocals, fmt.Sprintf("%.1f", r.Coverage), r.Distinct)
 	}
 	return t.String()

@@ -24,13 +24,13 @@ race:
 # Re-record the "after" side of the committed benchmark artifact (run on a
 # quiet machine; commits the new numbers).
 bench:
-	$(GO) run ./cmd/benchjson -label after -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -label after -out BENCH_10.json
 
 # Record the "before" side (run on the base revision before a perf change).
 bench-baseline:
-	$(GO) run ./cmd/benchjson -label before -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -label before -out BENCH_10.json
 
 # Warn-only comparison of the working tree against the committed "after"
 # snapshot; pass STRICT=1 to fail on regression.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_8.json $(if $(STRICT),-strict,)
+	$(GO) run ./cmd/benchjson -compare BENCH_10.json $(if $(STRICT),-strict,)

@@ -564,6 +564,51 @@ func BenchmarkStateHash(b *testing.B) {
 	})
 }
 
+// BenchmarkGlobalProps measures per-state cross-node property evaluation,
+// the cost the global property engine adds to every explored state: refill
+// the engine's pooled view from the state (the freelist path — NodeViews
+// are recycled, not reallocated), then evaluate the scenario's GlobalSet.
+// Chord exercises the ring cycle count over a warmed topology; the CRDT
+// scenarios exercise the pairwise convergence compare over warmed replica
+// state. AppendViolated(nil, ...) on a holding set returns nil, so a clean
+// state — the overwhelming case — costs zero allocations beyond the view
+// refill.
+func BenchmarkGlobalProps(b *testing.B) {
+	cases := []struct {
+		service string
+		nodes   int
+		warm    int
+	}{
+		{"chord", 7, 4},
+		{"gcounter", 5, 4},
+		{"orset", 5, 4},
+		{"lwwmap", 5, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.service, func(b *testing.B) {
+			g, cfg, err := scenario.InitialState(tc.service, scenario.Options{Nodes: tc.nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cfg.GlobalProps) == 0 {
+				b.Fatal("scenario has no global properties")
+			}
+			g = warmPrefix(b, mc.NewSearch(cfg), g, tc.warm)
+			v := props.NewView()
+			var violated int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Reset()
+				g.FillView(v)
+				violated += len(cfg.GlobalProps.AppendViolated(nil, props.Global(v)))
+			}
+			b.ReportMetric(float64(violated)/float64(b.N), "violated/op")
+		})
+	}
+}
+
 // BenchmarkCheckpointEncode measures full-state encoding (checkpoint
 // creation).
 func BenchmarkCheckpointEncode(b *testing.B) {

@@ -8,12 +8,12 @@
 //
 // Record the "after" side of the committed artifact:
 //
-//	go run ./cmd/benchjson -label after -out BENCH_8.json
+//	go run ./cmd/benchjson -label after -out BENCH_10.json
 //
 // Compare the working tree against the committed "after" numbers
 // (warn-only: always exits 0 unless -strict):
 //
-//	go run ./cmd/benchjson -compare BENCH_8.json
+//	go run ./cmd/benchjson -compare BENCH_10.json
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 // defaultBench selects the micro-benchmarks that gate checker throughput;
 // the heavyweight paper-figure benchmarks are excluded so a recording run
 // completes in minutes.
-const defaultBench = "BenchmarkStateHash$|BenchmarkConsequencePrediction$|BenchmarkExhaustiveSearch$|BenchmarkParallelSearch$|BenchmarkReducedSearch$|BenchmarkCheckpointEncode$|BenchmarkAdaptiveRounds$|BenchmarkShardedSearch$"
+const defaultBench = "BenchmarkStateHash$|BenchmarkConsequencePrediction$|BenchmarkExhaustiveSearch$|BenchmarkParallelSearch$|BenchmarkReducedSearch$|BenchmarkCheckpointEncode$|BenchmarkAdaptiveRounds$|BenchmarkShardedSearch$|BenchmarkGlobalProps$"
 
 // Result is one benchmark's parsed numbers.
 type Result struct {
@@ -54,7 +54,7 @@ type Snapshot struct {
 
 func main() {
 	label := flag.String("label", "", "record mode: snapshot label to merge into -out (e.g. before, after)")
-	out := flag.String("out", "BENCH_8.json", "artifact file to merge the labeled snapshot into")
+	out := flag.String("out", "BENCH_10.json", "artifact file to merge the labeled snapshot into")
 	compare := flag.String("compare", "", "compare mode: artifact file to compare the current tree against")
 	against := flag.String("against", "after", "label inside the -compare artifact to compare against")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")

@@ -23,10 +23,15 @@ var Analyzer = &analysis.Analyzer{
 	PackagePrefixes: []string{
 		"crystalball/internal/dist",
 		"crystalball/internal/mc",
+		"crystalball/internal/props",
 		"crystalball/internal/sm",
 		"crystalball/internal/sim",
 		"crystalball/internal/simnet",
 		"crystalball/internal/snapshot",
+		// CRDT replica state is maps (delivered ops, count vectors,
+		// live tags); every fold the checker fingerprints must be
+		// commutative or sorted.
+		"crystalball/internal/services/crdt",
 	},
 	Run: run,
 }

@@ -33,10 +33,12 @@ var Analyzer = &analysis.Analyzer{
 	PackagePrefixes: []string{
 		"crystalball/internal/dist",
 		"crystalball/internal/mc",
+		"crystalball/internal/props",
 		"crystalball/internal/sm",
 		"crystalball/internal/sim",
 		"crystalball/internal/simnet",
 		"crystalball/internal/snapshot",
+		"crystalball/internal/services/crdt",
 	},
 	Run: run,
 }

@@ -64,6 +64,14 @@ func (m Mode) String() string {
 type Config struct {
 	Mode  Mode
 	Props props.Set
+	// GlobalProps are cross-node properties checked by every
+	// consequence-prediction round alongside Props. A global violation
+	// (diverged replicas, conflicting decisions) derives corrective
+	// filters and steers the execution exactly as a local one does. The
+	// immediate safety check stays on Props alone: ISC consults a
+	// neighborhood view that is partial by construction, while global
+	// properties earn their keep on the checker's complete views.
+	GlobalProps props.GlobalSet
 	// Factory rebuilds service instances from checkpoints.
 	Factory sm.Factory
 	// SnapshotInterval is the gap between model-checking rounds
@@ -388,6 +396,7 @@ func (c *Controller) onSnapshot(snap *snapshot.Snapshot) {
 	c.Stats.LastBudget = plan
 	searchCfg := mc.Config{
 		Props:             c.cfg.Props,
+		GlobalProps:       c.cfg.GlobalProps,
 		Factory:           c.cfg.Factory,
 		Mode:              mc.Consequence,
 		Budget:            plan,

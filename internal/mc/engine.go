@@ -510,7 +510,7 @@ func (e *engine) expandNode(node *searchNode, claims *[]uint64, res *workerRes) 
 	// mask deeper, different bugs.
 	pathViolated := node.violated
 	node.state.FillView(res.view)
-	if violated := e.s.cfg.Props.Check(res.view); len(violated) > 0 {
+	if violated := e.s.checkProps(res.view); len(violated) > 0 {
 		onset := make([]string, 0, len(violated))
 		for _, p := range violated {
 			if !pathViolated[p] {

@@ -34,6 +34,13 @@ func (m Mode) String() string { return StrategyFor(m).Name() }
 type Config struct {
 	// Props are the safety properties to check on every explored state.
 	Props props.Set
+	// GlobalProps are the cross-node properties checked on the same view,
+	// right after Props. Their violations flow through the identical
+	// onset/dedup machinery, so filters and steering react to a diverged
+	// replica pair exactly as they do to a local invariant break. Empty on
+	// scenarios that declare none — the checker's behavior (and output) is
+	// then bit-for-bit unchanged.
+	GlobalProps props.GlobalSet
 	// Factory creates fresh service instances for reset nodes.
 	Factory sm.Factory
 	// Mode selects the algorithm.
@@ -391,6 +398,21 @@ func (s *Search) Run(start *GState) *Result {
 	return res
 }
 
+// checkProps evaluates the local property set and then, when configured,
+// the global (cross-node) set against the same filled view, returning the
+// combined violated names — locals first, globals after, each in
+// declaration order. Every property-evaluation site in the checker (engine
+// expansion, random walks, replay, the dist expander) funnels through this
+// one helper, which is what keeps serial, parallel, and sharded searches
+// reporting identical violation sets.
+func (s *Search) checkProps(v *props.View) []string {
+	violated := s.cfg.Props.Check(v)
+	if len(s.cfg.GlobalProps) > 0 {
+		violated = s.cfg.GlobalProps.AppendViolated(violated, props.Global(v))
+	}
+	return violated
+}
+
 // Replay re-executes a previously discovered error path from a (new) start
 // state, following the paper's replay rule: timer and application events
 // (and faults) replay directly, while message and error events replay only
@@ -402,7 +424,7 @@ func (s *Search) Replay(start *GState, path []sm.Event) []string {
 	g := start
 	v := props.NewView() // reused across every step of the replay
 	g.FillView(v)
-	if violated := s.cfg.Props.Check(v); len(violated) > 0 {
+	if violated := s.checkProps(v); len(violated) > 0 {
 		return violated
 	}
 	for _, ev := range path {
@@ -414,7 +436,7 @@ func (s *Search) Replay(start *GState, path []sm.Event) []string {
 		}
 		g = next
 		g.FillView(v)
-		if violated := s.cfg.Props.Check(v); len(violated) > 0 {
+		if violated := s.checkProps(v); len(violated) > 0 {
 			return violated
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"crystalball/internal/mc"
 	"crystalball/internal/props"
 	"crystalball/internal/services/chord"
+	"crystalball/internal/services/crdt"
 	"crystalball/internal/services/paxos"
 	"crystalball/internal/sm"
 )
@@ -213,4 +214,42 @@ func TestHashOraclePaxos(t *testing.T) {
 		ExploreResets: true,
 	})
 	oracleWalkExt(t, s, paxosPostRound1Start(factory), 25, 20, 37)
+}
+
+// TestHashOracleCRDT walks the CRDT scenarios — gcounter and orset from
+// their initial states, lwwmap from the staged clock-tie start with its
+// in-flight puts — with resets enabled, pinning the incremental GState
+// fingerprint against from-scratch re-encoding for map-heavy replica
+// state (delivered-op sets, count vectors, live tags, tombstones).
+func TestHashOracleCRDT(t *testing.T) {
+	members := []sm.NodeID{1, 2, 3}
+	fresh := func(f sm.Factory) *mc.GState {
+		g := mc.NewGState()
+		for _, id := range members {
+			g.AddNode(id, f(id), nil)
+		}
+		return g
+	}
+	cases := []struct {
+		name    string
+		factory sm.Factory
+		start   func(sm.Factory) *mc.GState
+		seed    int64
+	}{
+		{"gcounter", crdt.NewCounter(members, false), fresh, 41},
+		{"orset", crdt.NewSet(members, false), fresh, 43},
+		{"lwwmap", crdt.NewMap(members, false), crdt.TieStart, 47},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := mc.NewSearch(mc.Config{
+				Props:            props.Set{},
+				Factory:          tc.factory,
+				ExploreResets:    true,
+				MaxResetsPerPath: 1,
+			})
+			oracleWalkExt(t, s, tc.start(tc.factory), 25, 20, tc.seed)
+		})
+	}
 }

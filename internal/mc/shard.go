@@ -91,13 +91,15 @@ func (s *Search) NewExpander() *Expander {
 	return &Expander{s: s, view: props.NewView()}
 }
 
-// Check evaluates the search's property set on g through the expander's
-// pooled view and returns the violated property names (nil when g is
-// consistent). The returned slice is freshly allocated per violation and
-// owned by the caller.
+// Check evaluates the search's property set — local and global — on g
+// through the expander's pooled view and returns the violated property
+// names (nil when g is consistent). The returned slice is freshly
+// allocated per violation and owned by the caller. Global properties are
+// a pure function of g, so a shard that only ever holds its own claimed
+// states still reports exactly the serial engine's violation set.
 func (x *Expander) Check(g *GState) []string {
 	g.FillView(x.view)
-	return x.s.cfg.Props.Check(x.view)
+	return x.s.checkProps(x.view)
 }
 
 // Events enumerates the transitions enabled at g in the engine's canonical

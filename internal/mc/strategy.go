@@ -126,7 +126,7 @@ func runWalk(s *Search, start *GState, walk int, bdg *budget, coll *collector,
 		}
 		atomicMax(maxDepth, int64(depth))
 		node.state.FillView(res.view)
-		if violated := s.cfg.Props.Check(res.view); len(violated) > 0 {
+		if violated := s.checkProps(res.view); len(violated) > 0 {
 			var onset []string
 			for _, p := range violated {
 				if !walkViolated[p] {

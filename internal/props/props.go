@@ -52,6 +52,7 @@ func NewView() *View { return &View{Nodes: make(map[sm.NodeID]*NodeView), sorted
 
 // Reset empties the view, retaining its storage for reuse.
 func (v *View) Reset() {
+	//crystal:allow(maporder) recycle order only decides which pooled NodeView a later Add hands out; the views are interchangeable empty containers, so no observable state depends on it
 	for id, nv := range v.Nodes {
 		nv.Svc, nv.Timers = nil, nil
 		v.free = append(v.free, nv)

@@ -7,6 +7,7 @@ package all
 import (
 	_ "crystalball/internal/services/bulletprime"
 	_ "crystalball/internal/services/chord"
+	_ "crystalball/internal/services/crdt"
 	_ "crystalball/internal/services/paxos"
 	_ "crystalball/internal/services/randtree"
 )

@@ -42,6 +42,12 @@ func TestChaosOracleMatrix(t *testing.T) {
 		"chord":       5,
 		"paxos":       4,
 		"bulletprime": 5,
+		// Depth 6 reaches the seeded CRDT divergences, so recovery is
+		// pinned to reproduce actual global-property violations, not
+		// just the claimed set.
+		"gcounter": 6,
+		"orset":    6,
+		"lwwmap":   6,
 	}
 	for _, f := range chaosFaults {
 		f := f

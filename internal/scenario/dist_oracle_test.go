@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"crystalball/internal/dist"
@@ -30,6 +31,24 @@ func distVios(vs []mc.Violation) []distVio {
 	return out
 }
 
+// violatedNames reduces violations to the sorted set of distinct property
+// names — the granularity at which serial (onset semantics) and
+// distributed (full violated-set semantics) reports are comparable.
+func violatedNames(vs []mc.Violation) []string {
+	seen := map[string]bool{}
+	for _, v := range vs {
+		for _, p := range v.Properties {
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TestDistOracleMatrix is the distributed-search differential oracle: for
 // every registered scenario, a depth-bounded distributed exhaustive round
 // must claim the *identical* state set as the single-process engine — at
@@ -44,6 +63,13 @@ func TestDistOracleMatrix(t *testing.T) {
 		"chord":       5,
 		"paxos":       4,
 		"bulletprime": 5,
+		// Depth 6 is where the seeded CRDT divergences first appear, so
+		// the violation-equality half of the oracle is exercised (the
+		// ReplicaConvergence property is global — evaluated per shard
+		// as a pure function of the expanded state).
+		"gcounter": 6,
+		"orset":    6,
+		"lwwmap":   6,
 	}
 	for _, name := range scenario.Names() {
 		name := name
@@ -95,6 +121,10 @@ func TestDistOracleMatrix(t *testing.T) {
 					if got.DistinctLocalStates != serial.DistinctLocalStates {
 						t.Errorf("shards=%d workers=%d: DistinctLocalStates=%d, serial %d",
 							shards, workers, got.DistinctLocalStates, serial.DistinctLocalStates)
+					}
+					if !reflect.DeepEqual(violatedNames(got.Violations), violatedNames(serial.Violations)) {
+						t.Errorf("shards=%d workers=%d: violated properties %v, serial %v",
+							shards, workers, violatedNames(got.Violations), violatedNames(serial.Violations))
 					}
 					if ref == nil {
 						ref = got

@@ -24,8 +24,8 @@ func Register(sc Scenario) {
 	if sc.New == nil {
 		panic(fmt.Sprintf("scenario %s: Register with nil New", sc.Name))
 	}
-	if len(sc.Props) == 0 {
-		panic(fmt.Sprintf("scenario %s: Register with empty Props", sc.Name))
+	if len(sc.Props) == 0 && len(sc.GlobalProps) == 0 {
+		panic(fmt.Sprintf("scenario %s: Register with no Props or GlobalProps", sc.Name))
 	}
 	if sc.Check.Nodes == 0 || sc.Live.Nodes == 0 {
 		panic(fmt.Sprintf("scenario %s: Check and Live node defaults required", sc.Name))

@@ -114,6 +114,12 @@ type Scenario struct {
 	// DebugProps optionally extends Props for deep online debugging and
 	// offline checking; nil means Props serves both purposes.
 	DebugProps props.Set
+	// GlobalProps are the scenario's cross-node properties (replica
+	// convergence, agreement, ring consistency). They are checked by every
+	// search the scenario runs — offline mcheck, sharded dist rounds, and
+	// live consequence prediction — and their violations steer executions
+	// through the same filter machinery as Props violations.
+	GlobalProps props.GlobalSet
 
 	// Check and Live are the Options defaults for offline checking and
 	// live deployment respectively.
@@ -195,6 +201,7 @@ func (sc *Scenario) SearchConfig(o Options) (mc.Config, error) {
 	}
 	return mc.Config{
 		Props:             sc.PropsFor(true),
+		GlobalProps:       sc.GlobalProps,
 		Factory:           factory,
 		ExploreResets:     sc.Faults.ExploreResets,
 		ExploreConnBreaks: sc.Faults.ExploreConnBreaks,
@@ -246,6 +253,7 @@ func (sc *Scenario) ControllerConfig(o DeployOptions) (controller.Config, error)
 		ps = sc.PropsFor(o.Control == Debug)
 	}
 	cfg := controller.DefaultConfig(ps, factory)
+	cfg.GlobalProps = sc.GlobalProps
 	if o.Control == Steering {
 		cfg.Mode = controller.ExecutionSteering
 	} else {

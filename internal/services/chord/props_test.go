@@ -1,0 +1,77 @@
+package chord
+
+import (
+	"testing"
+
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+// ringView builds a view of joined rings from a node -> successor-list
+// table; a nil list marks a node that is present but not joined.
+func ringView(succs map[sm.NodeID][]sm.NodeID) props.GlobalView {
+	v := props.NewView()
+	for id, ss := range succs {
+		r := mk(id, AllFixes, 1)
+		if ss != nil {
+			r.Joined = true
+			r.Succs = sm.CloneNodeSlice(ss)
+		}
+		v.Add(id, r, nil)
+	}
+	return props.Global(v)
+}
+
+func TestGlobalRingConsistency(t *testing.T) {
+	cases := []struct {
+		label string
+		succs map[sm.NodeID][]sm.NodeID
+		want  bool
+	}{
+		{
+			label: "single three-ring",
+			succs: map[sm.NodeID][]sm.NodeID{1: {2, 3, 1}, 2: {3, 1, 2}, 3: {1, 2, 3}},
+			want:  true,
+		},
+		{
+			label: "lone bootstrap plus joiner tail",
+			succs: map[sm.NodeID][]sm.NodeID{1: {1}, 2: {1, 2}},
+			want:  true,
+		},
+		{
+			label: "two disjoint rings",
+			succs: map[sm.NodeID][]sm.NodeID{1: {2, 1}, 2: {1, 2}, 3: {4, 3}, 4: {3, 4}},
+			want:  false,
+		},
+		{
+			label: "self-loop beside a ring",
+			succs: map[sm.NodeID][]sm.NodeID{1: {1}, 2: {3, 2}, 3: {2, 3}},
+			want:  false,
+		},
+		{
+			label: "not-joined node breaks no cycle",
+			succs: map[sm.NodeID][]sm.NodeID{1: {2, 1}, 2: {1, 2}, 3: nil},
+			want:  true,
+		},
+		{
+			label: "edge to absent node is terminal",
+			succs: map[sm.NodeID][]sm.NodeID{1: {9, 1}, 2: {1, 2}},
+			want:  true,
+		},
+		{
+			label: "tails converging on one ring",
+			succs: map[sm.NodeID][]sm.NodeID{1: {2, 1}, 2: {1, 2}, 3: {1, 3}, 4: {2, 4}},
+			want:  true,
+		},
+		{
+			label: "empty view",
+			succs: map[sm.NodeID][]sm.NodeID{},
+			want:  true,
+		},
+	}
+	for _, c := range cases {
+		if got := PropGlobalRingConsistency.Check(ringView(c.succs)); got != c.want {
+			t.Errorf("%s: Check = %v, want %v", c.label, got, c.want)
+		}
+	}
+}

@@ -26,11 +26,12 @@ func init() {
 			}
 			return New(Config{Bootstrap: ids[:1], SuccListLen: o.Degree, Fixes: fixes}), nil
 		},
-		Props:     Properties,
-		Check:     scenario.Tuning{Nodes: 5},
-		Live:      scenario.Tuning{Nodes: 12},
-		Faults:    scenario.Faults{ExploreResets: true, ExploreConnBreaks: true},
-		Reduction: true,
+		Props:       Properties,
+		GlobalProps: GlobalProperties,
+		Check:       scenario.Tuning{Nodes: 5},
+		Live:        scenario.Tuning{Nodes: 12},
+		Faults:      scenario.Faults{ExploreResets: true, ExploreConnBreaks: true},
+		Reduction:   true,
 		// Declared as a policy spec (fixed, 12000 states/round — the
 		// long-standing value); Chord's live states grow with the
 		// successor lists, so -policy scaled is the natural retune.

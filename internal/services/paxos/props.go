@@ -33,5 +33,42 @@ var PropAtMostOneChosen = props.Property{
 	},
 }
 
+// PropCrossNodeAgreement is the agreement half of PropAtMostOneChosen
+// restated as a cross-node property: no two distinct nodes may have
+// chosen different values. Every violation of it is also a violation of
+// PropAtMostOneChosen (two nodes disagreeing means two values exist), but
+// not conversely — a single node with two chosen values is a local
+// inconsistency this property does not judge. It exercises the global
+// property engine on a service whose bugs predate it.
+var PropCrossNodeAgreement = props.GlobalProperty{
+	Name: "CrossNodeAgreement",
+	Check: func(v props.GlobalView) bool {
+		ids := v.IDs()
+		for i, a := range ids {
+			pa, _ := v.Get(a).Svc.(*Paxos)
+			if pa == nil || len(pa.ChosenVals) == 0 {
+				continue
+			}
+			for _, b := range ids[i+1:] {
+				pb, _ := v.Get(b).Svc.(*Paxos)
+				if pb == nil {
+					continue
+				}
+				for _, x := range pa.ChosenVals {
+					for _, y := range pb.ChosenVals {
+						if x != y {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	},
+}
+
 // Properties is the default Paxos property set.
 var Properties = props.Set{PropAtMostOneChosen}
+
+// GlobalProperties is the default Paxos cross-node property set.
+var GlobalProperties = props.GlobalSet{PropCrossNodeAgreement}

@@ -1,0 +1,73 @@
+package paxos
+
+import (
+	"testing"
+
+	"crystalball/internal/props"
+	"crystalball/internal/sm"
+)
+
+// chosenView builds a view of paxos nodes from a node -> chosen-values
+// table.
+func chosenView(chosen map[sm.NodeID][]int64) props.GlobalView {
+	v := props.NewView()
+	for id, vals := range chosen {
+		p := New(Config{Members: []sm.NodeID{1, 2, 3}})(id).(*Paxos)
+		p.ChosenVals = append([]int64(nil), vals...)
+		v.Add(id, p, nil)
+	}
+	return props.Global(v)
+}
+
+func TestCrossNodeAgreement(t *testing.T) {
+	cases := []struct {
+		label  string
+		chosen map[sm.NodeID][]int64
+		want   bool
+	}{
+		{
+			label:  "all agree",
+			chosen: map[sm.NodeID][]int64{1: {7}, 2: {7}, 3: {7}},
+			want:   true,
+		},
+		{
+			label:  "nothing chosen",
+			chosen: map[sm.NodeID][]int64{1: nil, 2: nil},
+			want:   true,
+		},
+		{
+			label:  "one chooser",
+			chosen: map[sm.NodeID][]int64{1: {7}, 2: nil, 3: nil},
+			want:   true,
+		},
+		{
+			label:  "two nodes disagree",
+			chosen: map[sm.NodeID][]int64{1: {7}, 2: {8}},
+			want:   false,
+		},
+		{
+			// A single node holding two values is a local inconsistency
+			// (PropAtMostOneChosen's job), not cross-node disagreement.
+			label:  "local double-choose alone",
+			chosen: map[sm.NodeID][]int64{1: {7, 8}},
+			want:   true,
+		},
+		{
+			label:  "local double-choose conflicting with a peer",
+			chosen: map[sm.NodeID][]int64{1: {7, 8}, 2: {7}},
+			want:   false,
+		},
+	}
+	for _, c := range cases {
+		v := chosenView(c.chosen)
+		if got := PropCrossNodeAgreement.Check(v); got != c.want {
+			t.Errorf("%s: Check = %v, want %v", c.label, got, c.want)
+		}
+		// Containment: any cross-node disagreement is also an
+		// AtMostOneValueChosen violation, so fixed-variant scenario
+		// expectations stay valid with the global property installed.
+		if !c.want && PropAtMostOneChosen.Check(v.View) {
+			t.Errorf("%s: cross-node violation not contained in AtMostOneValueChosen", c.label)
+		}
+	}
+}

@@ -29,9 +29,10 @@ func init() {
 			}
 			return New(Config{Members: ids, Bug1: bug1, Bug2: bug2}), nil
 		},
-		Props: Properties,
-		Check: scenario.Tuning{Nodes: 3},
-		Live:  scenario.Tuning{Nodes: 3},
+		Props:       Properties,
+		GlobalProps: GlobalProperties,
+		Check:       scenario.Tuning{Nodes: 3},
+		Live:        scenario.Tuning{Nodes: 3},
 		// Bug 2 is a lost-promise bug: it only materialises when the
 		// checker explores node resets.
 		Faults:    scenario.Faults{ExploreResets: true},
